@@ -1,0 +1,350 @@
+// Benchmarks regenerating the paper's tables and figures. Each Benchmark
+// runs a reduced-scale slice of the corresponding experiment (the cmd/
+// experiments binary runs paper scale) and reports the headline quantities
+// as custom metrics: F for accuracy, mappings/op for the search effort of
+// Figs 7c-10c.
+package eventmatch_test
+
+import (
+	"testing"
+	"time"
+
+	"eventmatch"
+	"eventmatch/internal/experiments"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/match"
+	"eventmatch/internal/metrics"
+	"eventmatch/internal/pattern"
+)
+
+// benchConfig is the reduced scale used by all experiment benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:        7,
+		Traces:      800,
+		SynthTraces: 600,
+		ExactBudget: 30 * time.Second,
+		Runs:        10,
+	}
+}
+
+// BenchmarkTable3Characteristics regenerates Table 3.
+func BenchmarkTable3Characteristics(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3(cfg)
+		if len(rows) != 3 {
+			b.Fatal("table 3 incomplete")
+		}
+	}
+}
+
+// benchProblem builds the full real-like pattern problem at a given size.
+func benchProblem(b *testing.B, k int) (*match.Problem, *gen.Generated) {
+	b.Helper()
+	g := gen.RealLike(7, 800)
+	pg, err := g.ProjectEvents(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := make([]*pattern.Pattern, 0, len(pg.Patterns))
+	for _, src := range pg.Patterns {
+		p, err := pattern.ParseBind(src, pg.L1.Alphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	pr, err := match.BuildProblem(pg.L1, pg.L2, ps, match.ModePattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr, pg
+}
+
+// BenchmarkFig7ExactPatternTight runs the Fig. 7 headline series point
+// (Pattern-Tight at the full event set).
+func BenchmarkFig7ExactPatternTight(b *testing.B) {
+	pr, pg := benchProblem(b, 11)
+	var f float64
+	var generated int
+	for i := 0; i < b.N; i++ {
+		m, st, err := pr.AStar(match.Options{Bound: match.BoundTight})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, pg.Truth).FMeasure
+		generated = st.Generated
+	}
+	b.ReportMetric(f, "F")
+	b.ReportMetric(float64(generated), "mappings/op")
+}
+
+// BenchmarkFig7ExactPatternSimple is the same point with the §3.3 bound —
+// together with the tight variant it reproduces the Fig. 7c pruning gap.
+func BenchmarkFig7ExactPatternSimple(b *testing.B) {
+	pr, pg := benchProblem(b, 11)
+	var f float64
+	var generated int
+	for i := 0; i < b.N; i++ {
+		m, st, err := pr.AStar(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, pg.Truth).FMeasure
+		generated = st.Generated
+	}
+	b.ReportMetric(f, "F")
+	b.ReportMetric(float64(generated), "mappings/op")
+}
+
+// BenchmarkFig7ExactVertexEdge is the Kang–Naughton comparison point.
+func BenchmarkFig7ExactVertexEdge(b *testing.B) {
+	g := gen.RealLike(7, 800)
+	pr, err := match.BuildProblem(g.L1, g.L2, nil, match.ModeVertexEdge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f float64
+	for i := 0; i < b.N; i++ {
+		m, _, err := pr.AStar(match.Options{Bound: match.BoundTight})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, g.Truth).FMeasure
+	}
+	b.ReportMetric(f, "F")
+}
+
+// BenchmarkFig8ExactOverTraces reproduces a Fig. 8 point: the full pattern
+// matcher at a reduced trace count.
+func BenchmarkFig8ExactOverTraces(b *testing.B) {
+	g := gen.RealLike(7, 800)
+	head := &gen.Generated{L1: g.L1.Head(400), L2: g.L2.Head(400), Truth: g.Truth, Patterns: g.Patterns}
+	ps := make([]*pattern.Pattern, 0, len(head.Patterns))
+	for _, src := range head.Patterns {
+		p, err := pattern.ParseBind(src, head.L1.Alphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	pr, err := match.BuildProblem(head.L1, head.L2, ps, match.ModePattern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f float64
+	for i := 0; i < b.N; i++ {
+		m, _, err := pr.AStar(match.Options{Bound: match.BoundTight})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, head.Truth).FMeasure
+	}
+	b.ReportMetric(f, "F")
+}
+
+// BenchmarkFig9HeuristicAdvanced reproduces the Fig. 9 headline point.
+func BenchmarkFig9HeuristicAdvanced(b *testing.B) {
+	pr, pg := benchProblem(b, 11)
+	var f float64
+	var generated int
+	for i := 0; i < b.N; i++ {
+		m, st, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, pg.Truth).FMeasure
+		generated = st.Generated
+	}
+	b.ReportMetric(f, "F")
+	b.ReportMetric(float64(generated), "mappings/op")
+}
+
+// BenchmarkFig9HeuristicSimple is the greedy comparison point.
+func BenchmarkFig9HeuristicSimple(b *testing.B) {
+	pr, pg := benchProblem(b, 11)
+	var f float64
+	var generated int
+	for i := 0; i < b.N; i++ {
+		m, st, err := pr.GreedyExpand(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f = metrics.Evaluate(m, pg.Truth).FMeasure
+		generated = st.Generated
+	}
+	b.ReportMetric(f, "F")
+	b.ReportMetric(float64(generated), "mappings/op")
+}
+
+// BenchmarkFig10HeuristicOverTraces reproduces a Fig. 10 point.
+func BenchmarkFig10HeuristicOverTraces(b *testing.B) {
+	g := gen.RealLike(7, 800)
+	for _, n := range []int{200, 800} {
+		n := n
+		b.Run(trace(n), func(b *testing.B) {
+			head := &gen.Generated{L1: g.L1.Head(n), L2: g.L2.Head(n), Truth: g.Truth, Patterns: g.Patterns}
+			ps := make([]*pattern.Pattern, 0, len(head.Patterns))
+			for _, src := range head.Patterns {
+				p, err := pattern.ParseBind(src, head.L1.Alphabet)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ps = append(ps, p)
+			}
+			pr, err := match.BuildProblem(head.L1, head.L2, ps, match.ModePattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var f float64
+			for i := 0; i < b.N; i++ {
+				m, _, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f = metrics.Evaluate(m, head.Truth).FMeasure
+			}
+			b.ReportMetric(f, "F")
+		})
+	}
+}
+
+func trace(n int) string {
+	switch n {
+	case 200:
+		return "traces=200"
+	default:
+		return "traces=800"
+	}
+}
+
+// BenchmarkFig12LargeSynthetic reproduces Fig. 12 points: the advanced
+// heuristic on 20- and 50-event synthetic logs where exact search is already
+// infeasible at paper scale.
+func BenchmarkFig12LargeSynthetic(b *testing.B) {
+	for _, blocks := range []int{2, 5} {
+		blocks := blocks
+		name := "events=20"
+		if blocks == 5 {
+			name = "events=50"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := gen.LargeSynthetic(107, blocks, 600)
+			ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+			for _, src := range g.Patterns {
+				p, err := pattern.ParseBind(src, g.L1.Alphabet)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ps = append(ps, p)
+			}
+			pr, err := match.BuildProblem(g.L1, g.L2, ps, match.ModePattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var f float64
+			for i := 0; i < b.N; i++ {
+				m, _, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple})
+				if err != nil {
+					b.Fatal(err)
+				}
+				f = metrics.Evaluate(m, g.Truth).FMeasure
+			}
+			b.ReportMetric(f, "F")
+		})
+	}
+}
+
+// BenchmarkTable4RandomLogs reproduces the Table 4 loop at reduced runs.
+func BenchmarkTable4RandomLogs(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Runs = 5
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationBoundPruning reports the simple-vs-tight pruning ratio
+// (the DESIGN.md bounding ablation, the paper's "up to two orders of
+// magnitude" claim at scale).
+func BenchmarkAblationBoundPruning(b *testing.B) {
+	pr, _ := benchProblem(b, 11)
+	var simple, tight, sharp int
+	for i := 0; i < b.N; i++ {
+		_, st1, err := pr.AStar(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st2, err := pr.AStar(match.Options{Bound: match.BoundTight})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st3, err := pr.AStar(match.Options{Bound: match.BoundSharp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simple, tight, sharp = st1.Generated, st2.Generated, st3.Generated
+	}
+	b.ReportMetric(float64(simple), "simple-mappings/op")
+	b.ReportMetric(float64(tight), "tight-mappings/op")
+	b.ReportMetric(float64(sharp), "sharp-mappings/op")
+}
+
+// BenchmarkAblationHeuristicPhases compares the full advanced heuristic with
+// the bare Algorithm 3 (no anchoring, no repair).
+func BenchmarkAblationHeuristicPhases(b *testing.B) {
+	pr, pg := benchProblem(b, 11)
+	var fullF, bareF float64
+	for i := 0; i < b.N; i++ {
+		m1, _, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, _, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple, NoSeed: true, NoRepair: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullF = metrics.Evaluate(m1, pg.Truth).FMeasure
+		bareF = metrics.Evaluate(m2, pg.Truth).FMeasure
+	}
+	b.ReportMetric(fullF, "full-F")
+	b.ReportMetric(bareF, "bare-F")
+}
+
+// BenchmarkAblationTraceIndex measures the It-index speedup for frequency
+// counting (§3.2.3).
+func BenchmarkAblationTraceIndex(b *testing.B) {
+	g := gen.RealLike(7, 800)
+	p, err := pattern.ParseBind(g.Patterns[1], g.L1.Alphabet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := pattern.NewTraceIndex(g.L1)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p.Frequency(g.L1)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.Frequency(p)
+		}
+	})
+}
+
+// BenchmarkPublicMatch exercises the public API end to end.
+func BenchmarkPublicMatch(b *testing.B) {
+	g := gen.RealLike(7, 400)
+	for i := 0; i < b.N; i++ {
+		if _, err := eventmatch.Match(g.L1, g.L2, eventmatch.Config{Patterns: g.Patterns}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

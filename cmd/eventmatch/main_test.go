@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeDemoLogs(t *testing.T) (string, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l1 := filepath.Join(dir, "l1.log")
+	l2 := filepath.Join(dir, "l2.csv")
+	pats := filepath.Join(dir, "patterns.txt")
+	if err := os.WriteFile(l1, []byte("A B C\nA C B\nA B C\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csv := "case,activity\nc1,x\nc1,y\nc1,z\nc2,x\nc2,z\nc2,y\nc3,x\nc3,y\nc3,z\n"
+	if err := os.WriteFile(l2, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pats, []byte("# demo\nSEQ(A,AND(B,C))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return l1, l2, pats
+}
+
+func TestRunMatchesLogs(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	if err := run(l1, l2, "heuristic-advanced", pats, time.Minute, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesDot(t *testing.T) {
+	l1, l2, _ := writeDemoLogs(t)
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	if err := run(l1, l2, "vertex", "", time.Minute, false, dot); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph eventmatch") {
+		t.Errorf("dot output malformed:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	l1, l2, _ := writeDemoLogs(t)
+	if err := run(l1, l2, "no-such-algorithm", "", time.Minute, false, ""); err == nil {
+		t.Error("bad algorithm must fail")
+	}
+	if err := run("/nonexistent", l2, "vertex", "", time.Minute, false, ""); err == nil {
+		t.Error("missing log must fail")
+	}
+	if err := run(l1, l2, "vertex", "/nonexistent-patterns", time.Minute, false, ""); err == nil {
+		t.Error("missing pattern file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("SEQ(\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(l1, l2, "heuristic-advanced", bad, time.Minute, false, ""); err == nil {
+		t.Error("malformed pattern file must fail")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	for _, algo := range []string{
+		"exact", "exact-simple", "heuristic-simple", "heuristic-advanced",
+		"vertex", "vertex-edge", "iterative", "entropy",
+	} {
+		if err := run(l1, l2, algo, pats, time.Minute, false, ""); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}

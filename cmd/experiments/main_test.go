@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"eventmatch/internal/experiments"
+)
+
+func TestRunTable3Only(t *testing.T) {
+	cfg := experiments.Config{Seed: 7, Traces: 100, SynthTraces: 50, ExactBudget: 10 * time.Second, Runs: 2}
+	selected := func(name string) bool { return name == "table3" }
+	if err := run(cfg, selected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable4Only(t *testing.T) {
+	cfg := experiments.Config{Seed: 7, Traces: 100, SynthTraces: 50, ExactBudget: 10 * time.Second, Runs: 3}
+	selected := func(name string) bool { return name == "table4" }
+	if err := run(cfg, selected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectedAllByDefault(t *testing.T) {
+	// With an empty want set every experiment is selected; emulate the
+	// selection logic used by main.
+	want := map[string]bool{}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+	for _, name := range []string{"table3", "fig7", "fig12", "ablations"} {
+		if !selected(name) {
+			t.Errorf("%s should be selected by default", name)
+		}
+	}
+}

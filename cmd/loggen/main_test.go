@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloads(t *testing.T) {
+	for _, workload := range []string{"real-like", "synthetic", "random", "fig1"} {
+		dir := t.TempDir()
+		if err := run(workload, 3, 50, 50, 2, 4, "log", dir); err != nil {
+			t.Fatalf("%s: %v", workload, err)
+		}
+		for _, f := range []string{"l1.log", "l2.log", "patterns.txt"} {
+			if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+				t.Errorf("%s: missing %s: %v", workload, f, err)
+			}
+		}
+		truthPath := filepath.Join(dir, "truth.txt")
+		_, err := os.Stat(truthPath)
+		if workload == "random" {
+			if err == nil {
+				t.Errorf("%s: unexpected truth file", workload)
+			}
+		} else if err != nil {
+			t.Errorf("%s: missing truth file: %v", workload, err)
+		}
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"log", "csv", "xes"} {
+		dir := t.TempDir()
+		if err := run("fig1", 1, 10, 10, 1, 4, format, dir); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "l1.") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no l1 file written", format)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("nope", 1, 10, 10, 1, 4, "log", dir); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if err := run("fig1", 1, 10, 10, 1, 4, "nope", dir); err == nil {
+		t.Error("unknown format must fail")
+	}
+}
+
+func TestRunTruthMatchesLogs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("real-like", 3, 40, 40, 2, 4, "log", dir); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := os.ReadFile(filepath.Join(dir, "truth.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(string(truth)), "\n") + 1
+	if lines != 11 {
+		t.Errorf("truth has %d lines, want 11", lines)
+	}
+}

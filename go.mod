@@ -1,0 +1,3 @@
+module eventmatch
+
+go 1.22

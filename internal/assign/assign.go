@@ -1,0 +1,208 @@
+// Package assign implements the Kuhn–Munkres (Hungarian) algorithm for
+// maximum-weight bipartite assignment. It is the substrate beneath the
+// paper's Heuristic-Advanced matcher (Section 5, which adapts the labeling /
+// alternating-tree machinery) and beneath the Iterative and Entropy baselines
+// (which turn a similarity matrix into a mapping).
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Max solves the maximum-weight assignment problem for the given weight
+// matrix. w[i][j] is the weight of assigning row i to column j. The matrix
+// may be rectangular; it is implicitly padded with zero-weight dummy rows or
+// columns. The result maps each row index to a column index (or -1 for rows
+// left unassigned when there are more rows than columns), together with the
+// total weight of the real (non-dummy) assignments.
+//
+// Complexity is O(n^3) for n = max(rows, cols), via the standard slack-array
+// formulation of the Hungarian method.
+func Max(w [][]float64) (rowToCol []int, total float64, err error) {
+	rows := len(w)
+	cols := 0
+	for i, r := range w {
+		if i == 0 {
+			cols = len(r)
+		} else if len(r) != cols {
+			return nil, 0, fmt.Errorf("assign: ragged weight matrix (row %d has %d cols, want %d)", i, len(r), cols)
+		}
+	}
+	if rows == 0 || cols == 0 {
+		out := make([]int, rows)
+		for i := range out {
+			out[i] = -1
+		}
+		return out, 0, nil
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	get := func(i, j int) float64 {
+		if i < rows && j < cols {
+			return w[i][j]
+		}
+		return 0 // dummy padding
+	}
+
+	// Feasible labeling: lx[i] = max_j w(i,j), ly[j] = 0.
+	lx := make([]float64, n)
+	ly := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if v := get(i, j); v > best {
+				best = v
+			}
+		}
+		lx[i] = best
+	}
+
+	matchX := make([]int, n) // row -> col
+	matchY := make([]int, n) // col -> row
+	for i := range matchX {
+		matchX[i] = -1
+		matchY[i] = -1
+	}
+
+	const eps = 1e-12
+	slack := make([]float64, n)
+	slackX := make([]int, n) // slackX[j]: tree row through which column j is cheapest to reach
+
+	for root := 0; root < n; root++ {
+		inTreeX := make([]bool, n)
+		inTreeY := make([]bool, n)
+		for j := 0; j < n; j++ {
+			slack[j] = lx[root] + ly[j] - get(root, j)
+			slackX[j] = root
+		}
+		inTreeX[root] = true
+
+		var augmentCol int = -1
+		for augmentCol == -1 {
+			// Find the minimum slack among columns outside the tree.
+			delta := math.Inf(1)
+			deltaJ := -1
+			for j := 0; j < n; j++ {
+				if !inTreeY[j] && slack[j] < delta {
+					delta = slack[j]
+					deltaJ = j
+				}
+			}
+			if deltaJ == -1 {
+				return nil, 0, fmt.Errorf("assign: internal error: no column to expand")
+			}
+			if delta > eps {
+				// Update labels to bring a new equality edge into the tree.
+				for i := 0; i < n; i++ {
+					if inTreeX[i] {
+						lx[i] -= delta
+					}
+				}
+				for j := 0; j < n; j++ {
+					if inTreeY[j] {
+						ly[j] += delta
+					} else {
+						slack[j] -= delta
+					}
+				}
+			}
+			j := deltaJ
+			inTreeY[j] = true
+			if matchY[j] == -1 {
+				augmentCol = j
+			} else {
+				i := matchY[j]
+				inTreeX[i] = true
+				for k := 0; k < n; k++ {
+					if !inTreeY[k] {
+						if s := lx[i] + ly[k] - get(i, k); s < slack[k] {
+							slack[k] = s
+							slackX[k] = i
+						}
+					}
+				}
+			}
+		}
+
+		// Augment along the path ending at augmentCol.
+		j := augmentCol
+		for j != -1 {
+			i := slackX[j]
+			nextJ := matchX[i]
+			matchX[i] = j
+			matchY[j] = i
+			j = nextJ
+		}
+	}
+
+	rowToCol = make([]int, rows)
+	for i := 0; i < rows; i++ {
+		j := matchX[i]
+		if j >= cols {
+			rowToCol[i] = -1 // matched to a dummy column
+			continue
+		}
+		rowToCol[i] = j
+		total += w[i][j]
+	}
+	return rowToCol, total, nil
+}
+
+// BruteForceMax solves the same problem by enumerating all assignments; it is
+// exponential and exists to cross-check Max in tests and to serve as the
+// naive "enumerate all mappings" strawman the paper argues against.
+func BruteForceMax(w [][]float64) (rowToCol []int, total float64, err error) {
+	rows := len(w)
+	cols := 0
+	for i, r := range w {
+		if i == 0 {
+			cols = len(r)
+		} else if len(r) != cols {
+			return nil, 0, fmt.Errorf("assign: ragged weight matrix")
+		}
+	}
+	best := math.Inf(-1)
+	cur := make([]int, rows)
+	bestAssign := make([]int, rows)
+	for i := range cur {
+		cur[i] = -1
+		bestAssign[i] = -1
+	}
+	usedCol := make([]bool, cols)
+	// Exactly rows-min(rows,cols) rows must stay unassigned, mirroring the
+	// dummy-column padding semantics of Max.
+	skips := rows - cols
+	if skips < 0 {
+		skips = 0
+	}
+	var rec func(i, skipsLeft int, sum float64)
+	rec = func(i, skipsLeft int, sum float64) {
+		if i == rows {
+			if skipsLeft == 0 && sum > best {
+				best = sum
+				copy(bestAssign, cur)
+			}
+			return
+		}
+		for j := 0; j < cols; j++ {
+			if !usedCol[j] {
+				usedCol[j] = true
+				cur[i] = j
+				rec(i+1, skipsLeft, sum+w[i][j])
+				cur[i] = -1
+				usedCol[j] = false
+			}
+		}
+		if skipsLeft > 0 {
+			rec(i+1, skipsLeft-1, sum)
+		}
+	}
+	rec(0, skips, 0)
+	if rows == 0 {
+		best = 0
+	}
+	return bestAssign, best, nil
+}

@@ -1,0 +1,217 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxSimple(t *testing.T) {
+	w := [][]float64{
+		{1, 2, 3},
+		{3, 1, 2},
+		{2, 3, 1},
+	}
+	m, total, err := Max(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 9 {
+		t.Errorf("total = %v, want 9", total)
+	}
+	want := []int{2, 0, 1}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Errorf("m[%d] = %d, want %d", i, m[i], want[i])
+		}
+	}
+}
+
+func TestMaxSingleCell(t *testing.T) {
+	m, total, err := Max([][]float64{{5}})
+	if err != nil || m[0] != 0 || total != 5 {
+		t.Errorf("m=%v total=%v err=%v", m, total, err)
+	}
+}
+
+func TestMaxEmpty(t *testing.T) {
+	m, total, err := Max(nil)
+	if err != nil || len(m) != 0 || total != 0 {
+		t.Errorf("m=%v total=%v err=%v", m, total, err)
+	}
+}
+
+func TestMaxRagged(t *testing.T) {
+	if _, _, err := Max([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix must fail")
+	}
+}
+
+func TestMaxRectangularMoreCols(t *testing.T) {
+	// 2 rows, 3 cols: every row assigned, one column unused.
+	w := [][]float64{
+		{1, 5, 2},
+		{5, 1, 2},
+	}
+	m, total, err := Max(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 || m[0] != 1 || m[1] != 0 {
+		t.Errorf("m=%v total=%v", m, total)
+	}
+}
+
+func TestMaxRectangularMoreRows(t *testing.T) {
+	// 3 rows, 2 cols: one row goes unassigned (-1).
+	w := [][]float64{
+		{9, 1},
+		{8, 7},
+		{1, 1},
+	}
+	m, total, err := Max(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 {
+		t.Errorf("total = %v, want 16 (9 + 7)", total)
+	}
+	unassigned := 0
+	for _, j := range m {
+		if j == -1 {
+			unassigned++
+		}
+	}
+	if unassigned != 1 {
+		t.Errorf("m = %v, want exactly one -1", m)
+	}
+	if m[0] != 0 || m[1] != 1 {
+		t.Errorf("m = %v", m)
+	}
+}
+
+func TestMaxNegativeWeights(t *testing.T) {
+	w := [][]float64{
+		{-1, -2},
+		{-2, -1},
+	}
+	m, total, err := Max(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -2 || m[0] != 0 || m[1] != 1 {
+		t.Errorf("m=%v total=%v, want diagonal (-2)", m, total)
+	}
+}
+
+func TestMaxTies(t *testing.T) {
+	// All equal weights: any perfect assignment is optimal.
+	w := [][]float64{{1, 1}, {1, 1}}
+	m, total, err := Max(w)
+	if err != nil || total != 2 {
+		t.Fatalf("total=%v err=%v", total, err)
+	}
+	if m[0] == m[1] {
+		t.Errorf("assignment not injective: %v", m)
+	}
+}
+
+func TestBruteForceMatchesKnown(t *testing.T) {
+	w := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	_, bf, _ := BruteForceMax(w)
+	_, km, err := Max(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bf-km) > 1e-9 {
+		t.Errorf("bruteforce %v != kuhn-munkres %v", bf, km)
+	}
+}
+
+// Property: Max always equals BruteForceMax on random square matrices, and
+// the returned assignment is injective with the claimed total.
+func TestMaxOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = math.Round(rng.Float64()*200-100) / 10 // [-10,10] in 0.1 steps
+			}
+		}
+		m, total, err := Max(w)
+		if err != nil {
+			return false
+		}
+		// Injectivity and total consistency.
+		seen := map[int]bool{}
+		sum := 0.0
+		for i, j := range m {
+			if j < 0 || seen[j] {
+				return false
+			}
+			seen[j] = true
+			sum += w[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			return false
+		}
+		_, bf, _ := BruteForceMax(w)
+		return math.Abs(total-bf) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rectangular instances also achieve the brute-force optimum.
+func TestMaxRectangularOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = math.Round(rng.Float64()*100) / 10 // non-negative
+			}
+		}
+		_, total, err := Max(w)
+		if err != nil {
+			return false
+		}
+		_, bf, _ := BruteForceMax(w)
+		return math.Abs(total-bf) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMax20(b *testing.B) { benchMax(b, 20) }
+func BenchmarkMax60(b *testing.B) { benchMax(b, 60) }
+
+func benchMax(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Max(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package baseline implements the comparison approaches of the paper's
+// evaluation (Section 6):
+//
+//   - Vertex: the Kang–Naughton uninterpreted matcher restricted to vertex
+//     frequencies [7]. Because the vertex-form normal distance decomposes
+//     per pair, the optimum is a maximum-weight assignment (Theorem 2) and
+//     is computed exactly with the Hungarian method.
+//   - Iterative: an adaptation of Nejati et al.'s statechart matcher [16] —
+//     vertex similarities refined by iterative neighbourhood propagation
+//     ("page-rank like"), then rounded to a mapping by assignment.
+//   - Entropy: the Entropy-only approach of [7] — events are compared by the
+//     binary entropy of their appearance indicator across traces, ignoring
+//     all structure.
+//
+// The Vertex+Edge baseline of [7] is match.Problem with ModeVertexEdge; see
+// the experiments harness.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"eventmatch/internal/assign"
+	"eventmatch/internal/depgraph"
+	"eventmatch/internal/event"
+	"eventmatch/internal/match"
+)
+
+// Result reports a baseline run.
+type Result struct {
+	Mapping match.Mapping
+	Score   float64 // the method's own objective value
+	Elapsed time.Duration
+}
+
+// Vertex computes the optimal vertex-form matching via assignment.
+func Vertex(l1, l2 *event.Log) (Result, error) {
+	start := time.Now()
+	g1, g2 := depgraph.Build(l1), depgraph.Build(l2)
+	w := make([][]float64, l1.NumEvents())
+	for v1 := range w {
+		w[v1] = make([]float64, l2.NumEvents())
+		for v2 := range w[v1] {
+			w[v1][v2] = match.Sim(g1.VertexFreq(event.ID(v1)), g2.VertexFreq(event.ID(v2)))
+		}
+	}
+	return assignResult(w, start)
+}
+
+// IterativeOptions tune the similarity-propagation baseline.
+type IterativeOptions struct {
+	Alpha     float64 // weight of propagated similarity vs. initial (default 0.5)
+	MaxRounds int     // iteration cap (default 50)
+	Tolerance float64 // L∞ convergence threshold (default 1e-6)
+}
+
+func (o *IterativeOptions) defaults() {
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 50
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+}
+
+// Iterative computes vertex similarities by fixpoint propagation over the two
+// dependency graphs and rounds them to a mapping by assignment.
+//
+// sim_{k+1}(v,u) = (1−α)·sim_0(v,u) + α·(out_k(v,u) + in_k(v,u)) / 2, where
+// out_k pairs each successor of v with its best-matching successor of u
+// (and symmetrically for predecessors).
+func Iterative(l1, l2 *event.Log, opts IterativeOptions) (Result, error) {
+	opts.defaults()
+	if opts.Alpha < 0 || opts.Alpha >= 1 {
+		return Result{}, fmt.Errorf("baseline: alpha %v outside [0,1)", opts.Alpha)
+	}
+	start := time.Now()
+	g1, g2 := depgraph.Build(l1), depgraph.Build(l2)
+	n1, n2 := l1.NumEvents(), l2.NumEvents()
+	sim0 := make([][]float64, n1)
+	cur := make([][]float64, n1)
+	next := make([][]float64, n1)
+	for v1 := 0; v1 < n1; v1++ {
+		sim0[v1] = make([]float64, n2)
+		cur[v1] = make([]float64, n2)
+		next[v1] = make([]float64, n2)
+		for v2 := 0; v2 < n2; v2++ {
+			sim0[v1][v2] = match.Sim(g1.VertexFreq(event.ID(v1)), g2.VertexFreq(event.ID(v2)))
+			cur[v1][v2] = sim0[v1][v2]
+		}
+	}
+	for round := 0; round < opts.MaxRounds; round++ {
+		maxDelta := 0.0
+		for v1 := 0; v1 < n1; v1++ {
+			for v2 := 0; v2 < n2; v2++ {
+				out := neighbourSim(g1.Successors(event.ID(v1)), g2.Successors(event.ID(v2)), cur)
+				in := neighbourSim(g1.Predecessors(event.ID(v1)), g2.Predecessors(event.ID(v2)), cur)
+				v := (1-opts.Alpha)*sim0[v1][v2] + opts.Alpha*(out+in)/2
+				next[v1][v2] = v
+				if d := math.Abs(v - cur[v1][v2]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		cur, next = next, cur
+		if maxDelta < opts.Tolerance {
+			break
+		}
+	}
+	return assignResult(cur, start)
+}
+
+// neighbourSim averages, over v's neighbours, the best similarity to any of
+// u's neighbours. Both empty: structurally identical (1). One empty: 0.
+func neighbourSim(nv, nu []event.ID, sim [][]float64) float64 {
+	if len(nv) == 0 && len(nu) == 0 {
+		return 1
+	}
+	if len(nv) == 0 || len(nu) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, a := range nv {
+		best := 0.0
+		for _, b := range nu {
+			if s := sim[a][b]; s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(nv))
+}
+
+// Entropy computes the Entropy-only matching: events compared solely by the
+// binary entropy of whether they appear in a trace.
+func Entropy(l1, l2 *event.Log) (Result, error) {
+	start := time.Now()
+	h1 := appearanceEntropies(l1)
+	h2 := appearanceEntropies(l2)
+	w := make([][]float64, len(h1))
+	for v1 := range w {
+		w[v1] = make([]float64, len(h2))
+		for v2 := range w[v1] {
+			w[v1][v2] = 1 - math.Abs(h1[v1]-h2[v2]) // entropies lie in [0,1] bits
+		}
+	}
+	return assignResult(w, start)
+}
+
+// appearanceEntropies returns H(v) = −q·lg q − (1−q)·lg(1−q) per event,
+// where q is the fraction of traces containing v.
+func appearanceEntropies(l *event.Log) []float64 {
+	freq := l.Frequency()
+	out := make([]float64, len(freq))
+	for i, q := range freq {
+		out[i] = binaryEntropy(q)
+	}
+	return out
+}
+
+func binaryEntropy(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		return 0
+	}
+	return -q*math.Log2(q) - (1-q)*math.Log2(1-q)
+}
+
+func assignResult(w [][]float64, start time.Time) (Result, error) {
+	rowToCol, total, err := assign.Max(w)
+	if err != nil {
+		return Result{}, err
+	}
+	m := match.NewMapping(len(w))
+	for v1, v2 := range rowToCol {
+		if v2 >= 0 {
+			m[v1] = event.ID(v2)
+		}
+	}
+	return Result{Mapping: m, Score: total, Elapsed: time.Since(start)}, nil
+}

@@ -1,0 +1,32 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventmatch/internal/event"
+)
+
+func benchLog(nEvents, nTraces, traceLen int) *event.Log {
+	rng := rand.New(rand.NewSource(1))
+	l := event.NewLog()
+	for i := 0; i < nEvents; i++ {
+		l.Alphabet.Intern(string(rune('A' + i)))
+	}
+	for i := 0; i < nTraces; i++ {
+		tr := make(event.Trace, traceLen)
+		for j := range tr {
+			tr[j] = event.ID(rng.Intn(nEvents))
+		}
+		l.Append(tr)
+	}
+	return l
+}
+
+func BenchmarkBuild(b *testing.B) {
+	l := benchLog(16, 3000, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(l)
+	}
+}

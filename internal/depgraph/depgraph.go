@@ -1,0 +1,181 @@
+// Package depgraph builds the event dependency graph of Definition 1 in the
+// paper: a labeled directed graph whose vertices are events and whose edges
+// connect events that occur consecutively in at least one trace, labeled with
+// normalized frequencies.
+//
+// For an event v, f(v,v) is the fraction of traces containing v. For an edge
+// (v,u), f(v,u) is the fraction of traces where v is immediately followed by
+// u at least once. Edges with frequency 0 are not materialized.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventmatch/internal/event"
+)
+
+// Edge identifies a directed dependency edge between two events.
+type Edge struct {
+	From, To event.ID
+}
+
+// Graph is an event dependency graph G(V, E, f) over a log's alphabet.
+type Graph struct {
+	alphabet   *event.Alphabet
+	n          int
+	vertexFreq []float64
+	edgeFreq   map[Edge]float64
+	succ       [][]event.ID // adjacency: out-neighbours per vertex, sorted
+	pred       [][]event.ID // adjacency: in-neighbours per vertex, sorted
+}
+
+// Build constructs the dependency graph of a log.
+func Build(l *event.Log) *Graph {
+	n := l.NumEvents()
+	g := &Graph{
+		alphabet:   l.Alphabet,
+		n:          n,
+		vertexFreq: make([]float64, n),
+		edgeFreq:   make(map[Edge]float64),
+	}
+	if l.NumTraces() == 0 {
+		g.buildAdjacency()
+		return g
+	}
+	seenV := make([]bool, n)
+	seenE := make(map[Edge]bool)
+	for _, t := range l.Traces {
+		for i := range seenV {
+			seenV[i] = false
+		}
+		for k := range seenE {
+			delete(seenE, k)
+		}
+		for i, e := range t {
+			if !seenV[e] {
+				seenV[e] = true
+				g.vertexFreq[e]++
+			}
+			if i+1 < len(t) {
+				ed := Edge{e, t[i+1]}
+				if !seenE[ed] {
+					seenE[ed] = true
+					g.edgeFreq[ed]++
+				}
+			}
+		}
+	}
+	inv := 1 / float64(l.NumTraces())
+	for i := range g.vertexFreq {
+		g.vertexFreq[i] *= inv
+	}
+	for k, v := range g.edgeFreq {
+		g.edgeFreq[k] = v * inv
+	}
+	g.buildAdjacency()
+	return g
+}
+
+func (g *Graph) buildAdjacency() {
+	g.succ = make([][]event.ID, g.n)
+	g.pred = make([][]event.ID, g.n)
+	for e := range g.edgeFreq {
+		g.succ[e.From] = append(g.succ[e.From], e.To)
+		g.pred[e.To] = append(g.pred[e.To], e.From)
+	}
+	for i := 0; i < g.n; i++ {
+		sort.Slice(g.succ[i], func(a, b int) bool { return g.succ[i][a] < g.succ[i][b] })
+		sort.Slice(g.pred[i], func(a, b int) bool { return g.pred[i][a] < g.pred[i][b] })
+	}
+}
+
+// NumVertices reports the number of vertices (the alphabet size).
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges reports the number of edges with nonzero frequency.
+func (g *Graph) NumEdges() int { return len(g.edgeFreq) }
+
+// Alphabet returns the alphabet the graph was built over.
+func (g *Graph) Alphabet() *event.Alphabet { return g.alphabet }
+
+// VertexFreq returns f(v,v), the normalized frequency of event v.
+func (g *Graph) VertexFreq(v event.ID) float64 { return g.vertexFreq[v] }
+
+// EdgeFreq returns f(v,u) for the edge v→u, or 0 if the edge is absent.
+func (g *Graph) EdgeFreq(v, u event.ID) float64 { return g.edgeFreq[Edge{v, u}] }
+
+// HasEdge reports whether v→u has nonzero frequency.
+func (g *Graph) HasEdge(v, u event.ID) bool {
+	_, ok := g.edgeFreq[Edge{v, u}]
+	return ok
+}
+
+// Successors returns the out-neighbours of v in ascending id order. The
+// returned slice must not be modified.
+func (g *Graph) Successors(v event.ID) []event.ID { return g.succ[v] }
+
+// Predecessors returns the in-neighbours of v in ascending id order. The
+// returned slice must not be modified.
+func (g *Graph) Predecessors(v event.ID) []event.ID { return g.pred[v] }
+
+// Edges returns all edges sorted by (From, To); handy for deterministic
+// iteration in tools and tests.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edgeFreq))
+	for e := range g.edgeFreq {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// MaxVertexFreq returns the highest vertex frequency among the given vertex
+// set; it underlies the tight bound's fn term. Returns 0 for an empty set.
+func (g *Graph) MaxVertexFreq(set []event.ID) float64 {
+	max := 0.0
+	for _, v := range set {
+		if f := g.vertexFreq[v]; f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// MaxEdgeFreqWithin returns the highest edge frequency in the subgraph induced
+// by the given vertex set; it underlies the tight bound's fe term. Returns 0
+// when the induced subgraph has no edges.
+func (g *Graph) MaxEdgeFreqWithin(set []event.ID) float64 {
+	in := make(map[event.ID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	max := 0.0
+	for e, f := range g.edgeFreq {
+		if in[e.From] && in[e.To] && f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Dot renders the graph in Graphviz dot syntax with frequency labels; useful
+// for debugging and documentation (mirrors the paper's Fig. 1e/1f).
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%.2f\"];\n", g.alphabet.Name(event.ID(v)), g.alphabet.Name(event.ID(v)), g.vertexFreq[v])
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.2f\"];\n", g.alphabet.Name(e.From), g.alphabet.Name(e.To), g.edgeFreq[e])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

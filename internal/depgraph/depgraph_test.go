@@ -1,0 +1,262 @@
+package depgraph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eventmatch/internal/event"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// fig1L1 reconstructs the paper's L1 example log (Fig. 1): traces of the
+// order-processing workflow with B,C concurrent between A and D.
+func fig1L1() *event.Log {
+	return event.FromStrings(
+		"A B C D E", // Trace 1
+		"A C B D F", // Trace 2
+		"A B C D E",
+		"A C B D F",
+		"A B C D E",
+	)
+}
+
+func TestBuildVertexFrequencies(t *testing.T) {
+	l := fig1L1()
+	g := Build(l)
+	a := l.Alphabet
+	for _, name := range []string{"A", "B", "C", "D"} {
+		if f := g.VertexFreq(a.Lookup(name)); f != 1.0 {
+			t.Errorf("f(%s) = %v, want 1.0", name, f)
+		}
+	}
+	if f := g.VertexFreq(a.Lookup("E")); !approx(f, 0.6) {
+		t.Errorf("f(E) = %v, want 0.6", f)
+	}
+	if f := g.VertexFreq(a.Lookup("F")); !approx(f, 0.4) {
+		t.Errorf("f(F) = %v, want 0.4", f)
+	}
+}
+
+func TestBuildEdgeFrequencies(t *testing.T) {
+	l := fig1L1()
+	g := Build(l)
+	a := l.Alphabet
+	A, B, C, D := a.Lookup("A"), a.Lookup("B"), a.Lookup("C"), a.Lookup("D")
+	if f := g.EdgeFreq(A, B); !approx(f, 0.6) {
+		t.Errorf("f(AB) = %v, want 0.6", f)
+	}
+	if f := g.EdgeFreq(A, C); !approx(f, 0.4) {
+		t.Errorf("f(AC) = %v, want 0.4", f)
+	}
+	if f := g.EdgeFreq(B, C); !approx(f, 0.6) {
+		t.Errorf("f(BC) = %v, want 0.6", f)
+	}
+	if f := g.EdgeFreq(C, B); !approx(f, 0.4) {
+		t.Errorf("f(CB) = %v, want 0.4", f)
+	}
+	if f := g.EdgeFreq(C, D); !approx(f, 0.6) {
+		t.Errorf("f(CD) = %v, want 0.6", f)
+	}
+	if f := g.EdgeFreq(B, D); !approx(f, 0.4) {
+		t.Errorf("f(BD) = %v, want 0.4", f)
+	}
+	if g.HasEdge(D, A) {
+		t.Error("edge DA should not exist")
+	}
+	if f := g.EdgeFreq(D, A); f != 0 {
+		t.Errorf("absent edge frequency = %v, want 0", f)
+	}
+}
+
+func TestRepeatedAdjacentPairCountsOnce(t *testing.T) {
+	// A B appears twice in the single trace; frequency must still be 1.0,
+	// per Definition 1 ("at least once").
+	l := event.FromStrings("A B A B")
+	g := Build(l)
+	a := l.Alphabet
+	if f := g.EdgeFreq(a.Lookup("A"), a.Lookup("B")); f != 1.0 {
+		t.Errorf("f(AB) = %v, want 1.0", f)
+	}
+	if f := g.EdgeFreq(a.Lookup("B"), a.Lookup("A")); f != 1.0 {
+		t.Errorf("f(BA) = %v, want 1.0", f)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	l := event.FromStrings("A A B")
+	g := Build(l)
+	a := l.Alphabet
+	if f := g.EdgeFreq(a.Lookup("A"), a.Lookup("A")); f != 1.0 {
+		t.Errorf("self-loop f(AA) = %v, want 1.0", f)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	g := Build(event.NewLog())
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty log graph: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	l := event.FromStrings("A B", "A C")
+	g := Build(l)
+	a := l.Alphabet
+	A := a.Lookup("A")
+	succ := g.Successors(A)
+	if len(succ) != 2 {
+		t.Fatalf("A successors = %v, want 2", succ)
+	}
+	if succ[0] > succ[1] {
+		t.Error("successors must be sorted")
+	}
+	if preds := g.Predecessors(a.Lookup("B")); len(preds) != 1 || preds[0] != A {
+		t.Errorf("B predecessors = %v, want [A]", preds)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	l := event.FromStrings("C B A", "B A C")
+	g := Build(l)
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges not strictly sorted: %v before %v", a, b)
+		}
+	}
+}
+
+func TestMaxFreqHelpers(t *testing.T) {
+	l := fig1L1()
+	g := Build(l)
+	a := l.Alphabet
+	all := make([]event.ID, l.NumEvents())
+	for i := range all {
+		all[i] = event.ID(i)
+	}
+	if f := g.MaxVertexFreq(all); f != 1.0 {
+		t.Errorf("MaxVertexFreq(all) = %v, want 1.0", f)
+	}
+	if f := g.MaxVertexFreq(nil); f != 0 {
+		t.Errorf("MaxVertexFreq(nil) = %v, want 0", f)
+	}
+	ef := []event.ID{a.Lookup("E"), a.Lookup("F")}
+	if f := g.MaxVertexFreq(ef); !approx(f, 0.6) {
+		t.Errorf("MaxVertexFreq(E,F) = %v, want 0.6", f)
+	}
+	// Induced subgraph on {E, F} has no edges.
+	if f := g.MaxEdgeFreqWithin(ef); f != 0 {
+		t.Errorf("MaxEdgeFreqWithin(E,F) = %v, want 0", f)
+	}
+	bc := []event.ID{a.Lookup("B"), a.Lookup("C")}
+	if f := g.MaxEdgeFreqWithin(bc); !approx(f, 0.6) {
+		t.Errorf("MaxEdgeFreqWithin(B,C) = %v, want 0.6 (BC edge)", f)
+	}
+}
+
+func TestDot(t *testing.T) {
+	g := Build(event.FromStrings("A B"))
+	dot := g.Dot("G")
+	for _, frag := range []string{"digraph G", `"A" -> "B"`, "1.00"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("Dot output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+// Property: every edge frequency is at most the frequency of both endpoints,
+// and all frequencies lie in [0, 1].
+func TestEdgeFreqBoundedByVertexFreqProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := event.NewLog()
+		n := 2 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			l.Alphabet.Intern(string(rune('A' + i)))
+		}
+		for i := 0; i < 1+rng.Intn(30); i++ {
+			tr := make(event.Trace, 1+rng.Intn(12))
+			for j := range tr {
+				tr[j] = event.ID(rng.Intn(n))
+			}
+			l.Append(tr)
+		}
+		g := Build(l)
+		for _, e := range g.Edges() {
+			f := g.EdgeFreq(e.From, e.To)
+			if f <= 0 || f > 1 {
+				return false
+			}
+			if f > g.VertexFreq(e.From)+1e-12 || f > g.VertexFreq(e.To)+1e-12 {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			if f := g.VertexFreq(event.ID(v)); f < 0 || f > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adjacency lists agree exactly with the edge map.
+func TestAdjacencyConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := event.NewLog()
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			l.Alphabet.Intern(string(rune('A' + i)))
+		}
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			tr := make(event.Trace, 1+rng.Intn(8))
+			for j := range tr {
+				tr[j] = event.ID(rng.Intn(n))
+			}
+			l.Append(tr)
+		}
+		g := Build(l)
+		count := 0
+		for v := 0; v < n; v++ {
+			for _, u := range g.Successors(event.ID(v)) {
+				if !g.HasEdge(event.ID(v), u) {
+					return false
+				}
+				count++
+			}
+		}
+		if count != g.NumEdges() {
+			return false
+		}
+		count = 0
+		for v := 0; v < n; v++ {
+			for _, u := range g.Predecessors(event.ID(v)) {
+				if !g.HasEdge(u, event.ID(v)) {
+					return false
+				}
+				count++
+			}
+		}
+		return count == g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphabetAccessor(t *testing.T) {
+	l := event.FromStrings("A B")
+	g := Build(l)
+	if g.Alphabet() != l.Alphabet {
+		t.Error("Alphabet() must return the log's alphabet")
+	}
+}

@@ -1,0 +1,328 @@
+package event
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphabetIntern(t *testing.T) {
+	a := NewAlphabet()
+	idA := a.Intern("A")
+	idB := a.Intern("B")
+	if idA == idB {
+		t.Fatalf("distinct names got same id %d", idA)
+	}
+	if got := a.Intern("A"); got != idA {
+		t.Errorf("re-interning A: got %d want %d", got, idA)
+	}
+	if a.Len() != 2 {
+		t.Errorf("Len = %d, want 2", a.Len())
+	}
+	if a.Name(idA) != "A" || a.Name(idB) != "B" {
+		t.Errorf("names round-trip failed: %q %q", a.Name(idA), a.Name(idB))
+	}
+}
+
+func TestAlphabetLookup(t *testing.T) {
+	a := NewAlphabet("X", "Y")
+	if a.Lookup("X") != 0 || a.Lookup("Y") != 1 {
+		t.Errorf("Lookup ids wrong: %d %d", a.Lookup("X"), a.Lookup("Y"))
+	}
+	if a.Lookup("Z") != None {
+		t.Errorf("Lookup of unknown name = %d, want None", a.Lookup("Z"))
+	}
+}
+
+func TestAlphabetNamesIsCopy(t *testing.T) {
+	a := NewAlphabet("A", "B")
+	names := a.Names()
+	names[0] = "mutated"
+	if a.Name(0) != "A" {
+		t.Error("Names() must return a copy")
+	}
+}
+
+func TestAlphabetZeroValue(t *testing.T) {
+	var a Alphabet
+	if a.Lookup("A") != None {
+		t.Error("zero alphabet should not contain anything")
+	}
+	if id := a.Intern("A"); id != 0 {
+		t.Errorf("first intern in zero alphabet = %d, want 0", id)
+	}
+}
+
+func TestFromStrings(t *testing.T) {
+	l := FromStrings("A B C D", "A C B D")
+	if l.NumTraces() != 2 {
+		t.Fatalf("NumTraces = %d, want 2", l.NumTraces())
+	}
+	if l.NumEvents() != 4 {
+		t.Fatalf("NumEvents = %d, want 4", l.NumEvents())
+	}
+	want := Trace{0, 2, 1, 3} // A C B D with intern order A,B,C,D
+	if !reflect.DeepEqual(l.Traces[1], want) {
+		t.Errorf("second trace = %v, want %v", l.Traces[1], want)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	l := FromStrings("A B C")
+	if got := l.Traces[0].String(l.Alphabet); got != "<A B C>" {
+		t.Errorf("String = %q, want %q", got, "<A B C>")
+	}
+}
+
+func TestTraceContains(t *testing.T) {
+	tr := Trace{0, 1, 2}
+	if !tr.Contains(1) {
+		t.Error("Contains(1) = false, want true")
+	}
+	if tr.Contains(5) {
+		t.Error("Contains(5) = true, want false")
+	}
+}
+
+func TestTraceClone(t *testing.T) {
+	tr := Trace{0, 1, 2}
+	cl := tr.Clone()
+	cl[0] = 9
+	if tr[0] != 0 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestLogFrequency(t *testing.T) {
+	// A in all 4 traces, B in 2, C in 1 (twice in that trace: counts once).
+	l := FromStrings("A B", "A", "A B C C", "A")
+	f := l.Frequency()
+	want := []float64{1.0, 0.5, 0.25}
+	if !reflect.DeepEqual(f, want) {
+		t.Errorf("Frequency = %v, want %v", f, want)
+	}
+}
+
+func TestLogFrequencyEmpty(t *testing.T) {
+	l := NewLog()
+	if f := l.Frequency(); len(f) != 0 {
+		t.Errorf("empty log frequency = %v, want empty", f)
+	}
+}
+
+func TestProject(t *testing.T) {
+	l := FromStrings("A B C D", "C D", "D")
+	p := l.Project(2) // keep A,B
+	if p.NumEvents() != 2 {
+		t.Fatalf("projected alphabet = %d, want 2", p.NumEvents())
+	}
+	// "C D" and "D" become empty and are dropped.
+	if p.NumTraces() != 1 {
+		t.Fatalf("projected traces = %d, want 1", p.NumTraces())
+	}
+	if !reflect.DeepEqual(p.Traces[0], Trace{0, 1}) {
+		t.Errorf("projected trace = %v, want [0 1]", p.Traces[0])
+	}
+}
+
+func TestProjectBounds(t *testing.T) {
+	l := FromStrings("A B")
+	if p := l.Project(-1); p.NumEvents() != 0 || p.NumTraces() != 0 {
+		t.Error("Project(-1) should produce an empty log")
+	}
+	if p := l.Project(99); p.NumEvents() != 2 || p.NumTraces() != 1 {
+		t.Error("Project beyond alphabet should keep everything")
+	}
+}
+
+func TestHead(t *testing.T) {
+	l := FromStrings("A", "B", "C")
+	if h := l.Head(2); h.NumTraces() != 2 {
+		t.Errorf("Head(2) traces = %d, want 2", h.NumTraces())
+	}
+	if h := l.Head(99); h.NumTraces() != 3 {
+		t.Errorf("Head(99) traces = %d, want 3", h.NumTraces())
+	}
+	if h := l.Head(-1); h.NumTraces() != 0 {
+		t.Errorf("Head(-1) traces = %d, want 0", h.NumTraces())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := FromStrings("A B")
+	if err := l.Validate(); err != nil {
+		t.Errorf("valid log: %v", err)
+	}
+	l.Traces[0][0] = 99
+	if err := l.Validate(); err == nil {
+		t.Error("out-of-range id not caught")
+	}
+	bad := &Log{}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil alphabet not caught")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := FromStrings("A B C", "A", "A B")
+	s := l.Summarize()
+	if s.Traces != 3 || s.Events != 3 || s.Occurrences != 6 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MinLen != 1 || s.MaxLen != 3 || s.MeanLen != 2 {
+		t.Errorf("lengths = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := NewLog().Summarize()
+	if s.Traces != 0 || s.MeanLen != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestAppendNames(t *testing.T) {
+	l := NewLog()
+	l.AppendNames("A", "B")
+	l.AppendNames("B", "C")
+	if l.NumTraces() != 2 || l.NumEvents() != 3 {
+		t.Errorf("traces=%d events=%d", l.NumTraces(), l.NumEvents())
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	l := FromStrings("B A C")
+	if got := l.SortedNames(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Errorf("SortedNames = %v", got)
+	}
+}
+
+// Property: frequency of every event is in (0,1] and events that appear in
+// every trace have frequency exactly 1.
+func TestFrequencyBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		common := l.Alphabet.Intern("common")
+		nEvents := 2 + rng.Intn(6)
+		for i := 0; i < nEvents; i++ {
+			l.Alphabet.Intern(string(rune('a' + i)))
+		}
+		nTraces := 1 + rng.Intn(20)
+		for i := 0; i < nTraces; i++ {
+			tr := Trace{common}
+			for j := 0; j < rng.Intn(8); j++ {
+				tr = append(tr, ID(1+rng.Intn(nEvents)))
+			}
+			l.Append(tr)
+		}
+		freq := l.Frequency()
+		if freq[common] != 1.0 {
+			return false
+		}
+		for _, f := range freq {
+			if f < 0 || f > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Project(k) never contains ids >= k and never grows the log.
+func TestProjectProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		n := 1 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			l.Alphabet.Intern(string(rune('A' + i)))
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			tr := make(Trace, rng.Intn(10))
+			for j := range tr {
+				tr[j] = ID(rng.Intn(n))
+			}
+			l.Append(tr)
+		}
+		k := int(kRaw) % (n + 1)
+		p := l.Project(k)
+		if p.NumTraces() > l.NumTraces() {
+			return false
+		}
+		for _, tr := range p.Traces {
+			if len(tr) == 0 {
+				return false // empty traces must be dropped
+			}
+			for _, e := range tr {
+				if int(e) >= k {
+					return false
+				}
+			}
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	l := FromStrings("A B C", "A")
+	if got := l.TotalLength(); got != 4 {
+		t.Errorf("TotalLength = %d, want 4", got)
+	}
+	if got := NewLog().TotalLength(); got != 0 {
+		t.Errorf("empty TotalLength = %d", got)
+	}
+}
+
+func TestProjectSet(t *testing.T) {
+	l := FromStrings("A B C", "C B", "A")
+	// Keep C and A, renumbered so C=0, A=1.
+	p, err := l.ProjectSet([]ID{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumEvents() != 2 {
+		t.Fatalf("events = %d", p.NumEvents())
+	}
+	if p.Alphabet.Name(0) != "C" || p.Alphabet.Name(1) != "A" {
+		t.Errorf("names = %v", p.Alphabet.Names())
+	}
+	// Trace "A B C" -> "A C" -> ids [1 0]; "C B" -> [0]; "A" -> [1].
+	if !reflect.DeepEqual(p.Traces[0], Trace{1, 0}) {
+		t.Errorf("trace 0 = %v", p.Traces[0])
+	}
+	if len(p.Traces) != 3 {
+		t.Errorf("traces = %d", len(p.Traces))
+	}
+}
+
+func TestProjectSetErrors(t *testing.T) {
+	l := FromStrings("A B")
+	if _, err := l.ProjectSet([]ID{0, 0}); err == nil {
+		t.Error("duplicate ids must fail")
+	}
+	if _, err := l.ProjectSet([]ID{9}); err == nil {
+		t.Error("out-of-range id must fail")
+	}
+	if _, err := l.ProjectSet([]ID{-1}); err == nil {
+		t.Error("negative id must fail")
+	}
+}
+
+func TestProjectSetDropsEmptyTraces(t *testing.T) {
+	l := FromStrings("A B", "B")
+	p, err := l.ProjectSet([]ID{0}) // keep only A
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTraces() != 1 {
+		t.Errorf("traces = %d, want 1", p.NumTraces())
+	}
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) on the simulated workloads of package gen:
+//
+//	Table 3   — dataset characteristics
+//	Fig. 7a-c — exact approaches over event-set sizes (F, time, #mappings)
+//	Fig. 8a-c — exact approaches over trace counts
+//	Fig. 9a-c — heuristic approaches over event-set sizes
+//	Fig. 10a-c — heuristic approaches over trace counts
+//	Fig. 12   — larger synthetic data over 10..100 events
+//	Table 4   — returned-mapping counts over random logs
+//
+// plus the ablation studies called out in DESIGN.md. Each experiment returns
+// structured rows; the Print* helpers render them in paper style.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eventmatch/internal/baseline"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/match"
+	"eventmatch/internal/metrics"
+	"eventmatch/internal/pattern"
+)
+
+// Approach names used across all experiments (the paper's legend).
+const (
+	ApVertex        = "Vertex"
+	ApVertexEdge    = "Vertex+Edge"
+	ApIterative     = "Iterative"
+	ApEntropy       = "Entropy-only"
+	ApPatternSimple = "Pattern-Simple"
+	ApPatternTight  = "Pattern-Tight"
+	ApPatternSharp  = "Pattern-Sharp"
+	ApExact         = "Exact"
+	ApHeurSimple    = "Heuristic-Simple"
+	ApHeurAdvanced  = "Heuristic-Advanced"
+)
+
+// Config parameterizes an experiment run. Zero values select the paper-scale
+// defaults.
+type Config struct {
+	Seed        int64
+	Traces      int           // real-like trace count (Table 3: 3000)
+	SynthTraces int           // synthetic trace count (Table 3: 10000)
+	ExactBudget time.Duration // per-run budget for exact approaches
+	Runs        int           // Table 4 repetitions (paper: 1000)
+}
+
+// withDefaults fills unset fields with the paper-scale values.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Traces == 0 {
+		c.Traces = 3000
+	}
+	if c.SynthTraces == 0 {
+		c.SynthTraces = 10000
+	}
+	if c.ExactBudget == 0 {
+		c.ExactBudget = 60 * time.Second
+	}
+	if c.Runs == 0 {
+		c.Runs = 1000
+	}
+	return c
+}
+
+// Result is one approach's outcome on one experiment point.
+type Result struct {
+	Approach  string
+	FMeasure  float64
+	Time      time.Duration
+	Generated int  // processed mappings M' (Figs 7c/8c/9c/10c)
+	DNF       bool // did not finish within budget
+}
+
+// Point is one x-axis position (an event-set size or trace count) with the
+// results of every approach.
+type Point struct {
+	X       int
+	Results []Result
+}
+
+// Get returns the result for the named approach at this point.
+func (p Point) Get(name string) (Result, bool) {
+	for _, r := range p.Results {
+		if r.Approach == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// instance is a prepared workload slice with its problems built per mode.
+type instance struct {
+	g        *gen.Generated
+	patterns []*pattern.Pattern
+}
+
+func prepare(g *gen.Generated) (*instance, error) {
+	ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+	for _, src := range g.Patterns {
+		p, err := pattern.ParseBind(src, g.L1.Alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pattern %q: %w", src, err)
+		}
+		ps = append(ps, p)
+	}
+	return &instance{g: g, patterns: ps}, nil
+}
+
+func (in *instance) problem(mode match.Mode) (*match.Problem, error) {
+	var user []*pattern.Pattern
+	if mode == match.ModePattern {
+		user = in.patterns
+	}
+	return match.BuildProblem(in.g.L1, in.g.L2, user, mode)
+}
+
+// fmeasure evaluates m against the instance truth (0 when no truth).
+func (in *instance) fmeasure(m match.Mapping) float64 {
+	if in.g.Truth == nil || m == nil {
+		return 0
+	}
+	return metrics.Evaluate(m, in.g.Truth).FMeasure
+}
+
+// runAStar runs the exact search in the given mode/bound under the budget.
+func (in *instance) runAStar(name string, mode match.Mode, bound match.BoundKind, budget time.Duration) Result {
+	pr, err := in.problem(mode)
+	if err != nil {
+		return Result{Approach: name, DNF: true}
+	}
+	m, st, err := pr.AStar(match.Options{Bound: bound, MaxDuration: budget})
+	if err != nil {
+		return Result{Approach: name, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+	}
+	return Result{Approach: name, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+}
+
+// runGreedy runs Heuristic-Simple (pattern mode).
+func (in *instance) runGreedy(budget time.Duration) Result {
+	pr, err := in.problem(match.ModePattern)
+	if err != nil {
+		return Result{Approach: ApHeurSimple, DNF: true}
+	}
+	m, st, err := pr.GreedyExpand(match.Options{Bound: match.BoundSimple, MaxDuration: budget})
+	if err != nil {
+		return Result{Approach: ApHeurSimple, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+	}
+	return Result{Approach: ApHeurSimple, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+}
+
+// runAdvanced runs Heuristic-Advanced (pattern mode).
+func (in *instance) runAdvanced(budget time.Duration, opts match.Options) Result {
+	pr, err := in.problem(match.ModePattern)
+	if err != nil {
+		return Result{Approach: ApHeurAdvanced, DNF: true}
+	}
+	opts.Bound = match.BoundSimple
+	opts.MaxDuration = budget
+	m, st, err := pr.HeuristicAdvanced(opts)
+	if err != nil {
+		return Result{Approach: ApHeurAdvanced, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+	}
+	return Result{Approach: ApHeurAdvanced, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+}
+
+// runIterative runs the Nejati-style baseline.
+func (in *instance) runIterative() Result {
+	res, err := baseline.Iterative(in.g.L1, in.g.L2, baseline.IterativeOptions{})
+	if err != nil {
+		return Result{Approach: ApIterative, DNF: true}
+	}
+	return Result{Approach: ApIterative, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+}
+
+// runVertexAssign runs the vertex baseline via assignment (Theorem 2 route);
+// this matches how the paper's Vertex curve behaves in the heuristic figures.
+func (in *instance) runVertexAssign() Result {
+	res, err := baseline.Vertex(in.g.L1, in.g.L2)
+	if err != nil {
+		return Result{Approach: ApVertex, DNF: true}
+	}
+	return Result{Approach: ApVertex, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+}
+
+// runEntropy runs the entropy-only baseline.
+func (in *instance) runEntropy() Result {
+	res, err := baseline.Entropy(in.g.L1, in.g.L2)
+	if err != nil {
+		return Result{Approach: ApEntropy, DNF: true}
+	}
+	return Result{Approach: ApEntropy, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PrintTable3 renders Table 3 in paper style.
+func PrintTable3(w io.Writer, rows []DatasetInfo) {
+	fmt.Fprintln(w, "Table 3: Characteristics of the logs")
+	fmt.Fprintf(w, "%-12s %8s %18s %8s %10s\n", "Dataset", "#traces", "#events (vertices)", "#edges", "#patterns")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %18d %8d %10d\n", r.Name, r.Traces, r.Events, r.Edges, r.Patterns)
+	}
+}
+
+// PrintFigure renders one figure's three panels (F-measure, time, #mappings)
+// as x-indexed tables, one column per approach.
+func PrintFigure(w io.Writer, title, xlabel string, points []Point) {
+	if len(points) == 0 {
+		fmt.Fprintf(w, "%s: no data\n", title)
+		return
+	}
+	approaches := make([]string, 0, len(points[0].Results))
+	for _, r := range points[0].Results {
+		approaches = append(approaches, r.Approach)
+	}
+	panel := func(sub string, cell func(Result) string) {
+		fmt.Fprintf(w, "%s (%s)\n", title, sub)
+		fmt.Fprintf(w, "%-10s", xlabel)
+		for _, a := range approaches {
+			fmt.Fprintf(w, " %18s", a)
+		}
+		fmt.Fprintln(w)
+		for _, p := range points {
+			fmt.Fprintf(w, "%-10d", p.X)
+			for _, a := range approaches {
+				r, ok := p.Get(a)
+				if !ok {
+					fmt.Fprintf(w, " %18s", "-")
+					continue
+				}
+				fmt.Fprintf(w, " %18s", cell(r))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	panel("a: F-measure", func(r Result) string {
+		if r.DNF {
+			return "DNF"
+		}
+		return fmt.Sprintf("%.3f", r.FMeasure)
+	})
+	panel("b: time", func(r Result) string {
+		if r.DNF {
+			return "DNF"
+		}
+		return formatDuration(r.Time)
+	})
+	panel("c: # processed mappings", func(r Result) string {
+		if r.Generated == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", r.Generated)
+	})
+}
+
+// PrintTable4 renders Table 4 plus a uniformity summary.
+func PrintTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table 4: Counts of returned results over random logs")
+	fmt.Fprintf(w, "%-40s %8s %10s %10s\n", "Mapping Result", "Exact", "Heur-Simp", "Heur-Adv")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-40s %8d %10d %10d\n", r.Mapping, r.Exact, r.Simple, r.Advanced)
+	}
+	fmt.Fprintf(w, "distinct mappings: %d\n", len(rows))
+	fmt.Fprintf(w, "chi^2 vs uniform: exact=%.1f simple=%.1f advanced=%.1f\n",
+		Chi2Uniform(rows, func(r Table4Row) int { return r.Exact }),
+		Chi2Uniform(rows, func(r Table4Row) int { return r.Simple }),
+		Chi2Uniform(rows, func(r Table4Row) int { return r.Advanced }))
+}
+
+// PrintAblation renders ablation rows grouped by x.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-8s %-16s %10s %12s %14s\n", "x", "variant", "F", "time", "#mappings")
+	for _, r := range rows {
+		f := fmt.Sprintf("%.3f", r.Result.FMeasure)
+		if r.Result.DNF {
+			f = "DNF"
+		}
+		fmt.Fprintf(w, "%-8d %-16s %10s %12s %14d\n", r.X, r.Variant, f, formatDuration(r.Result.Time), r.Result.Generated)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Microseconds()))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventmatch/internal/depgraph"
+	"eventmatch/internal/event"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/match"
+)
+
+// DatasetInfo is one row of Table 3.
+type DatasetInfo struct {
+	Name     string
+	Traces   int
+	Events   int
+	Edges    int
+	Patterns int
+}
+
+// Table3 reports the characteristics of the three datasets.
+func Table3(cfg Config) []DatasetInfo {
+	cfg = cfg.withDefaults()
+	real := realLike(cfg)
+	synth := largeSynthetic(cfg, 10)
+	random := gen.RandomPair(cfg.Seed+200, 4, 1000, 8)
+	row := func(name string, g *gen.Generated) DatasetInfo {
+		return DatasetInfo{
+			Name:     name,
+			Traces:   g.L1.NumTraces(),
+			Events:   g.L1.NumEvents(),
+			Edges:    depgraph.Build(g.L1).NumEdges(),
+			Patterns: len(g.Patterns),
+		}
+	}
+	return []DatasetInfo{
+		row("real", real),
+		row("synthetic", synth),
+		row("random", random),
+	}
+}
+
+// Table4Row is one row of Table 4: a returned mapping with the number of
+// times each method produced it across the random-log runs.
+type Table4Row struct {
+	Mapping  string
+	Exact    int
+	Simple   int
+	Advanced int
+}
+
+// Table4 runs the three pattern methods on independently generated random
+// log pairs (4 events, 1,000 traces each) cfg.Runs times and counts how often
+// each of the 24 possible mappings is returned. With no true mapping, no
+// method should favour particular results.
+func Table4(cfg Config) ([]Table4Row, error) {
+	cfg = cfg.withDefaults()
+	type key = string
+	exact := map[key]int{}
+	simple := map[key]int{}
+	advanced := map[key]int{}
+
+	for run := 0; run < cfg.Runs; run++ {
+		g := gen.RandomPair(cfg.Seed+300+int64(run), 4, 1000, 8)
+		in, err := prepare(g)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := in.problem(match.ModePattern)
+		if err != nil {
+			return nil, err
+		}
+		m, _, err := pr.AStar(match.Options{Bound: match.BoundTight, MaxDuration: cfg.ExactBudget})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 4 exact run %d: %w", run, err)
+		}
+		exact[mappingKey(g, m)]++
+		m, _, err = pr.GreedyExpand(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			return nil, err
+		}
+		simple[mappingKey(g, m)]++
+		m, _, err = pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple})
+		if err != nil {
+			return nil, err
+		}
+		advanced[mappingKey(g, m)]++
+	}
+
+	keys := map[string]bool{}
+	for k := range exact {
+		keys[k] = true
+	}
+	for k := range simple {
+		keys[k] = true
+	}
+	for k := range advanced {
+		keys[k] = true
+	}
+	var rows []Table4Row
+	for k := range keys {
+		rows = append(rows, Table4Row{Mapping: k, Exact: exact[k], Simple: simple[k], Advanced: advanced[k]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Mapping < rows[j].Mapping })
+	return rows, nil
+}
+
+// mappingKey renders a mapping as "A1->x2, A2->x4, ..." for counting.
+func mappingKey(g *gen.Generated, m match.Mapping) string {
+	var b strings.Builder
+	for v1, v2 := range m {
+		if v1 > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(g.L1.Alphabet.Name(event.ID(v1)))
+		b.WriteString("->")
+		if v2 == event.None {
+			b.WriteString("-")
+		} else {
+			b.WriteString(g.L2.Alphabet.Name(v2))
+		}
+	}
+	return b.String()
+}
+
+// Chi2Uniform computes the chi-squared statistic of the Exact counts against
+// the uniform distribution over the observed support; used to sanity-check
+// Table 4's "no method favours particular results" claim.
+func Chi2Uniform(rows []Table4Row, pick func(Table4Row) int) float64 {
+	total := 0
+	for _, r := range rows {
+		total += pick(r)
+	}
+	if total == 0 || len(rows) == 0 {
+		return 0
+	}
+	expect := float64(total) / float64(len(rows))
+	chi := 0.0
+	for _, r := range rows {
+		d := float64(pick(r)) - expect
+		chi += d * d / expect
+	}
+	return chi
+}

@@ -1,0 +1,490 @@
+// Package gen generates the paper's evaluation workloads.
+//
+// The paper evaluates on (1) proprietary ERP logs from two departments of a
+// bus manufacturer (Table 3 "real": 11 events, 57 edges, 3 patterns, 3,000
+// traces), (2) larger synthetic logs built by repeating the Fig. 1 block
+// structure (Table 3 "synthetic": 100 events, 16 patterns, 10,000 traces) and
+// (3) random logs (Table 3 "random": 4 events, 1,000 traces). The real logs
+// are not available, so RealLike simulates an order-processing workflow with
+// the same statistical shape: two departments run the same process with
+// slightly different noise parameters and independently encoded (opaque)
+// event names, giving a known ground-truth mapping. All generators are
+// deterministic in their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/match"
+)
+
+// Generated bundles a pair of heterogeneous logs with their ground truth and
+// the complex patterns declared over L1 (in textual form, bindable via
+// pattern.ParseBind).
+type Generated struct {
+	L1, L2   *event.Log
+	Truth    match.Mapping // L1 id → L2 id; nil when no true mapping exists
+	Patterns []string      // textual patterns over L1's event names
+}
+
+// erpParams are the department-specific knobs of the simulated workflow.
+// The two departments run the same control flow (same activities, same
+// branching probabilities — so composite-event/pattern frequencies are
+// stable across them) but differ in fine-grained ordering statistics: how
+// the concurrent activities tend to be sequenced and how much logging jitter
+// occurs. Exactly this split makes edge frequencies unreliable across
+// departments while pattern frequencies stay stable — the phenomenon the
+// paper exploits.
+type erpParams struct {
+	permWeights [3]float64 // first-position preference of the concurrent block
+	expedite    float64    // P(Expedite | CheckInventory 2nd or 3rd) — same in both departments
+	discount    float64    // P(Discount | Payment 1st or 3rd)       — same in both departments
+	skipApprove float64    // order approved implicitly   — same in both departments
+	skipClose   float64    // order left open             — same in both departments
+	swapNoise   float64    // probability of one adjacent swap (logging jitter)
+}
+
+// The L1-side activity vocabulary of the simulated order process. Payment /
+// CheckInventory / Schedule form a concurrent block; Expedite and Discount
+// are rare optional steps with near-identical frequencies and similar edge
+// contexts — the uninterpreted matcher's nemesis — that the SEQ patterns
+// disambiguate.
+var erpActivities = []string{
+	"Receive", "Approve", "Expedite", "Payment", "Discount",
+	"CheckInventory", "Schedule", "Produce", "Package", "Ship", "Close",
+}
+
+// Discount follows Payment when Payment opens or closes the concurrent block
+// (rebates for early payment, reminders for late payment); Expedite follows
+// CheckInventory when the check happens late (2nd or 3rd). The two optional
+// steps end up with near-identical vertex and edge statistics — confusable
+// for uninterpreted vertex/edge matching — while the three-event window
+// (Approve, Payment, Discount) occurs often and its image under the
+// confusion, (Approve, CheckInventory, Expedite), never occurs because
+// Expedite never follows a block-opening check. That window is exactly the
+// declared SEQ pattern.
+
+// Opaque codes used by the second department (pinyin-style abbreviations, as
+// in the paper's FH = Ship Goods anecdote), indexed by L1 activity.
+var erpOpaque = []string{
+	"SD", "SP", "JJ", "FK", "ZK", "KC", "PC", "SC", "BZ", "FH", "GB",
+}
+
+// RealLike simulates the paper's real dataset: two event logs of the same
+// order-processing workflow from two departments with independent encodings.
+// The ground truth maps each L1 activity to its opaque L2 counterpart.
+func RealLike(seed int64, traces int) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	// Department 2 tends to check inventory before taking payment — the
+	// ranking of the two activities' order statistics is inverted, which is
+	// precisely the kind of heterogeneity that misleads edge-frequency
+	// matching while leaving composite-event structure intact.
+	p1 := erpParams{permWeights: [3]float64{0.42, 0.32, 0.26}, expedite: 0.47, discount: 0.45, skipApprove: 0.10, skipClose: 0.10, swapNoise: 0.03}
+	p2 := erpParams{permWeights: [3]float64{0.31, 0.43, 0.26}, expedite: 0.47, discount: 0.45, skipApprove: 0.10, skipClose: 0.10, swapNoise: 0.05}
+
+	l1 := simulateERP(rand.New(rand.NewSource(rng.Int63())), traces, p1)
+
+	// Ground truth: a nontrivial permutation of event ids.
+	n := len(erpActivities)
+	truth := make(match.Mapping, n)
+	perm := rng.Perm(n)
+	for i, j := range perm {
+		truth[i] = event.ID(j)
+	}
+	// L2 alphabet: position truth[i] carries activity i's opaque code.
+	l2names := make([]string, n)
+	for i := 0; i < n; i++ {
+		l2names[truth[i]] = erpOpaque[i]
+	}
+	raw := simulateERP(rand.New(rand.NewSource(rng.Int63())), traces, p2)
+	l2 := relabel(raw, truth, l2names)
+
+	return &Generated{
+		L1:    l1,
+		L2:    l2,
+		Truth: truth,
+		Patterns: []string{
+			"SEQ(Approve,Payment,Discount)",
+			"AND(Payment,CheckInventory,Schedule)",
+			"SEQ(Produce,Package,Ship)",
+		},
+	}
+}
+
+// RealLikeDivergence generates the real-like workload with a scaled amount
+// of inter-department heterogeneity: scale 0 makes department 2 run with
+// department 1's exact parameters (differences come from sampling only),
+// scale 1 reproduces RealLike's calibrated divergence, and larger scales
+// exaggerate it. Used by the robustness sweep in the experiments harness.
+func RealLikeDivergence(seed int64, traces int, scale float64) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	base := erpParams{permWeights: [3]float64{0.42, 0.32, 0.26}, expedite: 0.47, discount: 0.45, skipApprove: 0.10, skipClose: 0.10, swapNoise: 0.03}
+	div := erpParams{permWeights: [3]float64{0.31, 0.43, 0.26}, expedite: 0.47, discount: 0.45, skipApprove: 0.10, skipClose: 0.10, swapNoise: 0.05}
+	lerp := func(a, b float64) float64 { return a + (b-a)*scale }
+	p2 := erpParams{
+		permWeights: [3]float64{
+			lerp(base.permWeights[0], div.permWeights[0]),
+			lerp(base.permWeights[1], div.permWeights[1]),
+			lerp(base.permWeights[2], div.permWeights[2]),
+		},
+		expedite:    base.expedite,
+		discount:    base.discount,
+		skipApprove: base.skipApprove,
+		skipClose:   base.skipClose,
+		swapNoise:   lerp(base.swapNoise, div.swapNoise),
+	}
+	// Keep the weights a valid distribution under exaggerated scales.
+	for i, w := range p2.permWeights {
+		if w < 0.02 {
+			p2.permWeights[i] = 0.02
+		}
+	}
+
+	l1 := simulateERP(rand.New(rand.NewSource(rng.Int63())), traces, base)
+	n := len(erpActivities)
+	truth := make(match.Mapping, n)
+	perm := rng.Perm(n)
+	for i, j := range perm {
+		truth[i] = event.ID(j)
+	}
+	l2names := make([]string, n)
+	for i := 0; i < n; i++ {
+		l2names[truth[i]] = erpOpaque[i]
+	}
+	raw := simulateERP(rand.New(rand.NewSource(rng.Int63())), traces, p2)
+	l2 := relabel(raw, truth, l2names)
+	return &Generated{
+		L1:    l1,
+		L2:    l2,
+		Truth: truth,
+		Patterns: []string{
+			"SEQ(Approve,Payment,Discount)",
+			"AND(Payment,CheckInventory,Schedule)",
+			"SEQ(Produce,Package,Ship)",
+		},
+	}
+}
+
+// weightedPerm permutes ids by repeatedly drawing the next element with
+// probability proportional to its weight among the remaining candidates.
+// Higher-weight ids tend to come first; the weights shape the order
+// statistics without fixing them.
+func weightedPerm(rng *rand.Rand, ids []event.ID, w []float64) []event.ID {
+	cands := make([]int, len(ids))
+	for i := range cands {
+		cands[i] = i
+	}
+	out := make([]event.ID, 0, len(ids))
+	for len(cands) > 0 {
+		if len(cands) == 1 {
+			out = append(out, ids[cands[0]])
+			break
+		}
+		total := 0.0
+		for _, c := range cands {
+			total += w[c]
+		}
+		r := rng.Float64() * total
+		pick := len(cands) - 1
+		for ci, c := range cands {
+			r -= w[c]
+			if r <= 0 {
+				pick = ci
+				break
+			}
+		}
+		out = append(out, ids[cands[pick]])
+		cands = append(cands[:pick], cands[pick+1:]...)
+	}
+	return out
+}
+
+// simulateERP runs the order-processing model once per trace.
+func simulateERP(rng *rand.Rand, traces int, p erpParams) *event.Log {
+	l := event.NewLog()
+	for _, name := range erpActivities {
+		l.Alphabet.Intern(name)
+	}
+	id := func(name string) event.ID { return l.Alphabet.Lookup(name) }
+	receive, approve, expedite := id("Receive"), id("Approve"), id("Expedite")
+	payment, discount := id("Payment"), id("Discount")
+	concurrent := []event.ID{payment, id("CheckInventory"), id("Schedule")}
+	produce, pack, ship, cl := id("Produce"), id("Package"), id("Ship"), id("Close")
+
+	check := concurrent[1]
+	for i := 0; i < traces; i++ {
+		var t event.Trace
+		t = append(t, receive)
+		if rng.Float64() >= p.skipApprove {
+			t = append(t, approve)
+		}
+		order := weightedPerm(rng, concurrent, p.permWeights[:])
+		addDiscount := (order[0] == payment || order[2] == payment) && rng.Float64() < p.discount
+		addExpedite := order[0] != check && rng.Float64() < p.expedite
+		for _, e := range order {
+			t = append(t, e)
+			if addDiscount && e == payment {
+				t = append(t, discount)
+			}
+			if addExpedite && e == check {
+				t = append(t, expedite)
+			}
+		}
+		t = append(t, produce, pack, ship)
+		if rng.Float64() >= p.skipClose {
+			t = append(t, cl)
+		}
+		if rng.Float64() < p.swapNoise && len(t) > 2 {
+			k := 1 + rng.Intn(len(t)-2)
+			t[k], t[k+1] = t[k+1], t[k]
+		}
+		l.Append(t)
+	}
+	return l
+}
+
+// relabel rewrites a log through the truth permutation onto a new alphabet
+// whose names arrive in permuted-id order.
+func relabel(raw *event.Log, truth match.Mapping, names []string) *event.Log {
+	out := &event.Log{Alphabet: event.NewAlphabet(names...)}
+	for _, t := range raw.Traces {
+		nt := make(event.Trace, len(t))
+		for i, e := range t {
+			nt[i] = truth[e]
+		}
+		out.Traces = append(out.Traces, nt)
+	}
+	return out
+}
+
+// LargeSynthetic builds the Fig. 11 workload: `blocks` repetitions of a
+// 10-event unit. Within each unit, four events (a,b,c,d) run fully in
+// parallel — any contiguous permutation, i.e. an AND pattern with frequency
+// 1.0 — and four more (f,g,h,i) are "executed separately": they occur
+// between the separators s and t, but the last of them is occasionally
+// deferred until after t. The two logs run the same structure with slightly
+// different order statistics (rank-stable permutation weights, different
+// deferral rates), mirroring the heterogeneity of the real dataset. The
+// pattern list has one AND(a,b,c,d) per unit plus one SEQ(s,AND(f,g,h,i),t)
+// for each of the first six units — 16 patterns at 10 units (100 events),
+// exactly Table 3's synthetic row.
+func LargeSynthetic(seed int64, blocks, traces int) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	w1 := []float64{0.40, 0.28, 0.20, 0.12}
+	w2 := []float64{0.46, 0.26, 0.17, 0.11}
+	l1 := synthLog(rand.New(rand.NewSource(rng.Int63())), blocks, traces, w1, 0.35)
+	n := blocks * 10
+	truth := make(match.Mapping, n)
+	perm := rng.Perm(n)
+	for i, j := range perm {
+		truth[i] = event.ID(j)
+	}
+	l2names := make([]string, n)
+	for i := 0; i < n; i++ {
+		l2names[truth[i]] = fmt.Sprintf("e%03d", i)
+	}
+	raw := synthLog(rand.New(rand.NewSource(rng.Int63())), blocks, traces, w2, 0.45)
+	l2 := relabel(raw, truth, l2names)
+
+	var patterns []string
+	for b := 0; b < blocks; b++ {
+		patterns = append(patterns, fmt.Sprintf("AND(b%d_a,b%d_b,b%d_c,b%d_d)", b, b, b, b))
+		if b < 6 {
+			patterns = append(patterns,
+				fmt.Sprintf("SEQ(b%d_s,AND(b%d_f,b%d_g,b%d_h,b%d_i),b%d_t)", b, b, b, b, b, b))
+		}
+	}
+	return &Generated{L1: l1, L2: l2, Truth: truth, Patterns: patterns}
+}
+
+// synthBlockNames is the per-unit event-name layout of the synthetic
+// generator: the parallel group a..d, separator s, the wrap group f..i,
+// separator t.
+var synthBlockNames = [10]string{"a", "b", "c", "d", "s", "f", "g", "h", "i", "t"}
+
+// synthLog emits traces of `blocks` consecutive units. Unit layout:
+// weightedPerm(a,b,c,d) · s · weightedPerm(f,g,h,i) · t, where with
+// probability deferProb the last wrap event is deferred until just after t.
+func synthLog(rng *rand.Rand, blocks, traces int, w []float64, deferProb float64) *event.Log {
+	l := event.NewLog()
+	ids := make([][]event.ID, blocks)
+	for b := 0; b < blocks; b++ {
+		ids[b] = make([]event.ID, 10)
+		for k := 0; k < 10; k++ {
+			ids[b][k] = l.Alphabet.Intern(fmt.Sprintf("b%d_%s", b, synthBlockNames[k]))
+		}
+	}
+	for i := 0; i < traces; i++ {
+		var t event.Trace
+		for b := 0; b < blocks; b++ {
+			u := ids[b]
+			t = append(t, weightedPerm(rng, u[0:4], w)...)
+			t = append(t, u[4]) // separator s
+			wrap := weightedPerm(rng, u[5:9], w)
+			deferLast := rng.Float64() < deferProb
+			for wi, e := range wrap {
+				if deferLast && wi == 3 {
+					continue
+				}
+				t = append(t, e)
+			}
+			t = append(t, u[9]) // separator t
+			if deferLast {
+				t = append(t, wrap[3])
+			}
+		}
+		l.Append(t)
+	}
+	return l
+}
+
+// RandomPair builds two independent uniformly random logs over nEvents events
+// each; there is no true mapping (Truth is nil). Matches the Table 4 setup.
+func RandomPair(seed int64, nEvents, traces, maxLen int) *Generated {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(r *rand.Rand, prefix string) *event.Log {
+		l := event.NewLog()
+		for i := 0; i < nEvents; i++ {
+			l.Alphabet.Intern(fmt.Sprintf("%s%d", prefix, i+1))
+		}
+		for i := 0; i < traces; i++ {
+			t := make(event.Trace, 1+r.Intn(maxLen))
+			for j := range t {
+				t[j] = event.ID(r.Intn(nEvents))
+			}
+			l.Append(t)
+		}
+		return l
+	}
+	return &Generated{
+		L1: mk(rand.New(rand.NewSource(rng.Int63())), "A"),
+		L2: mk(rand.New(rand.NewSource(rng.Int63())), "x"),
+	}
+}
+
+// Fig1 reconstructs the paper's running example: L1 over events A..F and L2
+// over opaque events 1..8, where the truth maps A→3, B→4, C→5, D→6, E→7,
+// F→8 and events 1, 2 are L2-only bookkeeping steps.
+func Fig1() *Generated {
+	l1 := event.FromStrings(
+		"A B C D E",
+		"A C B D F",
+		"A B C D E",
+		"A B C D E",
+		"A C B D F",
+		"A B C D E",
+		"A C B D E",
+		"A B C D E",
+		"A C B D F",
+		"A B C D E",
+	)
+	l2 := event.FromStrings(
+		"1 2 3 4 5 6 7",
+		"2 1 3 5 4 6 8",
+		"1 2 3 4 5 6 7",
+		"1 2 3 4 5 6 7",
+		"2 1 3 5 4 6 8",
+		"1 2 3 4 5 6 7",
+		"1 2 3 5 4 6 7",
+		"1 2 3 4 5 6 7",
+		"2 1 3 5 4 6 8",
+		"1 2 3 4 5 6 7",
+	)
+	truth := match.NewMapping(l1.NumEvents())
+	for n1, n2 := range map[string]string{"A": "3", "B": "4", "C": "5", "D": "6", "E": "7", "F": "8"} {
+		truth[l1.Alphabet.Lookup(n1)] = l2.Alphabet.Lookup(n2)
+	}
+	return &Generated{
+		L1:       l1,
+		L2:       l2,
+		Truth:    truth,
+		Patterns: []string{"SEQ(A,AND(B,C),D)"},
+	}
+}
+
+// ProjectEvents restricts a generated pair to the first k events of L1 and
+// their true images in L2, re-deriving the ground truth over the projected
+// ids. This is the paper's "event set with size x" experiment axis, kept
+// truth-consistent. It requires a known truth.
+func (g *Generated) ProjectEvents(k int) (*Generated, error) {
+	if g.Truth == nil {
+		return nil, fmt.Errorf("gen: ProjectEvents needs a ground truth")
+	}
+	if k < 1 || k > g.L1.NumEvents() {
+		return nil, fmt.Errorf("gen: ProjectEvents k=%d outside [1,%d]", k, g.L1.NumEvents())
+	}
+	ids1 := make([]event.ID, k)
+	ids2 := make([]event.ID, 0, k)
+	for i := 0; i < k; i++ {
+		ids1[i] = event.ID(i)
+		if g.Truth[i] != event.None {
+			ids2 = append(ids2, g.Truth[i])
+		}
+	}
+	// Keep L2's own id order in the projection: projecting in truth order
+	// would make the projected truth the identity permutation, letting
+	// tie-breaking by index masquerade as matching accuracy.
+	sort.Slice(ids2, func(a, b int) bool { return ids2[a] < ids2[b] })
+	l1, err := g.L1.ProjectSet(ids1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := g.L2.ProjectSet(ids2)
+	if err != nil {
+		return nil, err
+	}
+	rank := make(map[event.ID]event.ID, len(ids2))
+	for pos, id := range ids2 {
+		rank[id] = event.ID(pos)
+	}
+	truth := match.NewMapping(k)
+	for i := 0; i < k; i++ {
+		if g.Truth[i] != event.None {
+			truth[i] = rank[g.Truth[i]]
+		}
+	}
+	out := &Generated{L1: l1, L2: l2, Truth: truth}
+	// Keep only patterns whose events survive the projection.
+	for _, p := range g.Patterns {
+		if patternSurvives(p, l1.Alphabet) {
+			out.Patterns = append(out.Patterns, p)
+		}
+	}
+	return out, nil
+}
+
+// patternSurvives reports whether every event name in the textual pattern is
+// present in the alphabet. It relies on the pattern syntax using commas and
+// parentheses as the only separators.
+func patternSurvives(src string, a *event.Alphabet) bool {
+	start := -1
+	ok := true
+	check := func(tok string) {
+		if tok == "" || tok == "SEQ" || tok == "AND" {
+			return
+		}
+		if a.Lookup(tok) == event.None {
+			ok = false
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '(', ')', ',', ' ':
+			if start >= 0 {
+				check(src[start:i])
+				start = -1
+			}
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		check(src[start:])
+	}
+	return ok
+}

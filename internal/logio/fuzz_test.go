@@ -1,0 +1,68 @@
+package logio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraceLines checks the trace-lines reader never panics and that
+// whatever it accepts round-trips through the writer.
+func FuzzReadTraceLines(f *testing.F) {
+	f.Add("A B C\nC B A\n")
+	f.Add("# comment\n\nA\n")
+	f.Add("  padded   tokens \n")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ReadTraceLines(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("reader produced invalid log: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTraceLines(&buf, l); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTraceLines(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.NumTraces() != l.NumTraces() {
+			t.Fatalf("trace count changed: %d -> %d", l.NumTraces(), back.NumTraces())
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV reader handles arbitrary input without panics.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("case,activity\nc1,A\nc1,B\n")
+	f.Add("c1,A\n")
+	f.Add(",,,\n")
+	f.Add("\"quoted\",value\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ReadCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("reader produced invalid log: %v", err)
+		}
+	})
+}
+
+// FuzzReadXES checks the XES reader handles arbitrary XML without panics.
+func FuzzReadXES(f *testing.F) {
+	f.Add(`<log><trace><event><string key="concept:name" value="A"/></event></trace></log>`)
+	f.Add(`<log>`)
+	f.Add(`<?xml version="1.0"?><log/>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := ReadXES(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("reader produced invalid log: %v", err)
+		}
+	})
+}

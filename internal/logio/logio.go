@@ -1,0 +1,238 @@
+// Package logio reads and writes event logs in three hand-rolled formats:
+//
+//   - trace lines (.log): one trace per line, whitespace-separated event
+//     names, '#' comments — the format used throughout the examples;
+//   - CSV (.csv): "case,activity" rows in timestamp order, the shape event
+//     data typically leaves an ERP system in;
+//   - a minimal XES subset (.xes): the XML interchange format of the process
+//     mining community, restricted to concept:name string attributes.
+//
+// The matcher itself is format-agnostic; these readers exist because the
+// paper's setting (heterogeneous enterprise event logs) implies ingesting
+// logs from whatever shape each source system emits.
+package logio
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"eventmatch/internal/event"
+)
+
+// ReadTraceLines parses the trace-lines format: one trace per line of
+// whitespace-separated event names; blank lines and lines starting with '#'
+// are skipped.
+func ReadTraceLines(r io.Reader) (*event.Log, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("logio: %w", err)
+	}
+	l := event.NewLog()
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		l.AppendNames(strings.Fields(line)...)
+	}
+	return l, nil
+}
+
+// WriteTraceLines writes the log in trace-lines format.
+func WriteTraceLines(w io.Writer, l *event.Log) error {
+	var b strings.Builder
+	for _, t := range l.Traces {
+		for i, e := range t {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(l.Alphabet.Name(e))
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return fmt.Errorf("logio: %w", err)
+		}
+		b.Reset()
+	}
+	return nil
+}
+
+// ReadCSV parses "case,activity" rows (with optional header). Rows are taken
+// in file order as the event order within each case; traces are emitted in
+// order of each case's first appearance.
+func ReadCSV(r io.Reader) (*event.Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("logio: csv: %w", err)
+	}
+	l := event.NewLog()
+	order := []string{}
+	byCase := map[string][]string{}
+	for i, rec := range records {
+		if i == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), "case") {
+			continue // header
+		}
+		c := strings.TrimSpace(rec[0])
+		a := strings.TrimSpace(rec[1])
+		if c == "" || a == "" {
+			return nil, fmt.Errorf("logio: csv row %d: empty case or activity", i+1)
+		}
+		if _, ok := byCase[c]; !ok {
+			order = append(order, c)
+		}
+		byCase[c] = append(byCase[c], a)
+	}
+	for _, c := range order {
+		l.AppendNames(byCase[c]...)
+	}
+	return l, nil
+}
+
+// WriteCSV writes the log as "case,activity" rows with a header, numbering
+// cases from 1 in trace order.
+func WriteCSV(w io.Writer, l *event.Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"case", "activity"}); err != nil {
+		return fmt.Errorf("logio: csv: %w", err)
+	}
+	for i, t := range l.Traces {
+		caseID := fmt.Sprintf("c%d", i+1)
+		for _, e := range t {
+			if err := cw.Write([]string{caseID, l.Alphabet.Name(e)}); err != nil {
+				return fmt.Errorf("logio: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("logio: csv: %w", err)
+	}
+	return nil
+}
+
+// Minimal XES document model. Only <string key="concept:name"> attributes on
+// events are interpreted; everything else is ignored on read and omitted on
+// write.
+type xesLog struct {
+	XMLName xml.Name   `xml:"log"`
+	Traces  []xesTrace `xml:"trace"`
+}
+
+type xesTrace struct {
+	Events []xesEvent `xml:"event"`
+}
+
+type xesEvent struct {
+	Strings []xesString `xml:"string"`
+}
+
+type xesString struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// ReadXES parses a minimal XES document.
+func ReadXES(r io.Reader) (*event.Log, error) {
+	var doc xesLog
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("logio: xes: %w", err)
+	}
+	l := event.NewLog()
+	for ti, tr := range doc.Traces {
+		names := make([]string, 0, len(tr.Events))
+		for ei, ev := range tr.Events {
+			name := ""
+			for _, s := range ev.Strings {
+				if s.Key == "concept:name" {
+					name = s.Value
+					break
+				}
+			}
+			if name == "" {
+				return nil, fmt.Errorf("logio: xes: trace %d event %d has no concept:name", ti, ei)
+			}
+			names = append(names, name)
+		}
+		if len(names) > 0 {
+			l.AppendNames(names...)
+		}
+	}
+	return l, nil
+}
+
+// WriteXES writes the log as a minimal XES document.
+func WriteXES(w io.Writer, l *event.Log) error {
+	doc := xesLog{}
+	for _, t := range l.Traces {
+		tr := xesTrace{}
+		for _, e := range t {
+			tr.Events = append(tr.Events, xesEvent{Strings: []xesString{{Key: "concept:name", Value: l.Alphabet.Name(e)}}})
+		}
+		doc.Traces = append(doc.Traces, tr)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return fmt.Errorf("logio: xes: %w", err)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("logio: xes: %w", err)
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return fmt.Errorf("logio: xes: %w", err)
+	}
+	return nil
+}
+
+// Format names accepted by ReadAuto / WriteAuto.
+const (
+	FormatTraceLines = "log"
+	FormatCSV        = "csv"
+	FormatXES        = "xes"
+)
+
+// DetectFormat guesses the format from a file name extension, defaulting to
+// trace lines.
+func DetectFormat(filename string) string {
+	switch {
+	case strings.HasSuffix(filename, ".csv"):
+		return FormatCSV
+	case strings.HasSuffix(filename, ".xes"), strings.HasSuffix(filename, ".xml"):
+		return FormatXES
+	default:
+		return FormatTraceLines
+	}
+}
+
+// Read parses r in the named format.
+func Read(r io.Reader, format string) (*event.Log, error) {
+	switch format {
+	case FormatTraceLines:
+		return ReadTraceLines(r)
+	case FormatCSV:
+		return ReadCSV(r)
+	case FormatXES:
+		return ReadXES(r)
+	default:
+		return nil, fmt.Errorf("logio: unknown format %q", format)
+	}
+}
+
+// Write serializes l to w in the named format.
+func Write(w io.Writer, l *event.Log, format string) error {
+	switch format {
+	case FormatTraceLines:
+		return WriteTraceLines(w, l)
+	case FormatCSV:
+		return WriteCSV(w, l)
+	case FormatXES:
+		return WriteXES(w, l)
+	default:
+		return fmt.Errorf("logio: unknown format %q", format)
+	}
+}

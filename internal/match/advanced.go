@@ -1,0 +1,439 @@
+package match
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"eventmatch/internal/event"
+)
+
+// HeuristicAdvanced is Algorithm 3: Kuhn–Munkres-style matching guided by the
+// estimated per-pair scores θ (Formula 2), where each augmentation step
+// considers every augmenting path in every maximal alternating tree
+// (Algorithm 4) and commits the one with the best g+h.
+//
+// For the special case of vertex-only patterns the result is the optimal
+// matching (Proposition 6).
+func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
+	start := time.Now()
+	var st Stats
+	n1, n2 := pr.L1.NumEvents(), pr.n2pad
+	n := n1
+	if n2 > n {
+		n = n2 // pad with dummy events so |V1| == |V2| (§5.1.1)
+	}
+	if n == 0 {
+		return Mapping{}, st, nil
+	}
+	theta := pr.thetaMatrix(n)
+
+	// Initial feasible labeling: ℓ(v1) = max θ(v1, ·), ℓ(v2) = 0.
+	lx := make([]float64, n)
+	ly := make([]float64, n)
+	for i := 0; i < n; i++ {
+		best := math.Inf(-1)
+		for j := 0; j < n; j++ {
+			if theta[i][j] > best {
+				best = theta[i][j]
+			}
+		}
+		lx[i] = best
+	}
+	matchX := make([]int, n)
+	matchY := make([]int, n)
+	for i := range matchX {
+		matchX[i] = -1
+		matchY[i] = -1
+	}
+
+	// Pattern anchoring: before any augmentation, embed the complex patterns'
+	// graph forms into G2 and commit the best-scoring embeddings. This puts
+	// the paper's thesis — complex patterns as the discriminative feature —
+	// directly into the heuristic's starting point, so the augmentation loop
+	// only has to fill in the rest. Vertex/edge-only problems are unaffected
+	// (no complex patterns), keeping Proposition 6 intact.
+	if !opts.NoSeed {
+		for _, pair := range pr.seedFromPatterns(&st) {
+			matchX[pair[0]] = pair[1]
+			matchY[pair[1]] = pair[0]
+		}
+	}
+
+	for round := 0; round < n; round++ {
+		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
+			st.Elapsed = time.Since(start)
+			return nil, st, ErrBudgetExceeded
+		}
+		type candidate struct {
+			score          float64
+			matchX, matchY []int
+			lx, ly         []float64
+		}
+		var best *candidate
+		// Consider unmatched rows in the §3.1 expansion order (most patterns
+		// first): with strict-improvement tie-breaking below, score ties are
+		// resolved in favour of pattern-rich events, whose candidates carry
+		// the most evidence.
+		for _, u := range pr.rowOrder(n) {
+			if matchX[u] != -1 {
+				continue
+			}
+			st.Expanded++
+			tlx, tly, way, freeCols := alternatingTree(u, theta, lx, ly, matchX, matchY)
+			for _, endCol := range freeCols {
+				st.Generated++
+				mx := append([]int(nil), matchX...)
+				my := append([]int(nil), matchY...)
+				augment(mx, my, way, endCol)
+				score := pr.scorePadded(mx, n1, n2, opts.Bound)
+				if best == nil || score > best.score {
+					best = &candidate{score: score, matchX: mx, matchY: my, lx: tlx, ly: tly}
+				}
+			}
+		}
+		if best == nil {
+			break // all rows matched
+		}
+		matchX, matchY = best.matchX, best.matchY
+		lx, ly = best.lx, best.ly
+	}
+
+	m := NewMapping(n1)
+	for i := 0; i < n1; i++ {
+		if j := matchX[i]; j >= 0 && j < n2 {
+			m[i] = event.ID(j)
+		}
+	}
+	pr.stripArtificial(m)
+	mappedCount := 0
+	for _, v := range m {
+		if v != event.None {
+			mappedCount++
+		}
+	}
+	want := n1
+	if pr.n2real < want {
+		want = pr.n2real
+	}
+	if mappedCount != want {
+		st.Elapsed = time.Since(start)
+		return nil, st, errors.New("match: heuristic failed to produce a perfect matching")
+	}
+	// Repair phase — the paper's second intuition (§5.1): "modify the
+	// previously determined matching M referring to the patterns". Once the
+	// augmentation loop has produced a perfect matching, pattern-guided
+	// pairwise swaps (and moves onto unused targets) fix early erroneous
+	// commitments that augmenting paths alone did not revisit. Each swap is
+	// evaluated incrementally through the Ip index.
+	if !opts.NoRepair {
+		pr.repair(m, &st, opts, start)
+	}
+	st.Elapsed = time.Since(start)
+	st.Score = pr.Distance(m)
+	return m, st, nil
+}
+
+// repair hill-climbs the complete mapping under the pattern normal distance
+// using target swaps and moves to unused targets, until a local optimum.
+func (pr *Problem) repair(m Mapping, st *Stats, opts Options, start time.Time) {
+	n1 := len(m)
+	const eps = 1e-12
+	for improved := true; improved; {
+		improved = false
+		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
+			return
+		}
+		// Pairwise target swaps.
+		for i := 0; i < n1; i++ {
+			for j := i + 1; j < n1; j++ {
+				st.Generated++
+				if pr.swapGain(m, event.ID(i), event.ID(j)) > eps {
+					m[i], m[j] = m[j], m[i]
+					improved = true
+				}
+			}
+		}
+		// Three-cycle rotations escape 2-swap-stable local optima. They are
+		// cubic in the alphabet, so only applied at modest sizes.
+		if n1 <= 48 {
+			for i := 0; i < n1; i++ {
+				for j := 0; j < n1; j++ {
+					if j == i {
+						continue
+					}
+					for k := j + 1; k < n1; k++ {
+						if k == i {
+							continue
+						}
+						st.Generated++
+						if pr.rotateGain(m, event.ID(i), event.ID(j), event.ID(k)) > eps {
+							m[i], m[j], m[k] = m[j], m[k], m[i]
+							improved = true
+						}
+					}
+				}
+			}
+		}
+		// Moves onto unused real targets (when |V2| > |V1|).
+		if pr.n2real > n1 {
+			used := make([]bool, pr.n2real)
+			for _, v := range m {
+				if v != event.None {
+					used[v] = true
+				}
+			}
+			for i := 0; i < n1; i++ {
+				for b := 0; b < pr.n2real; b++ {
+					if used[b] {
+						continue
+					}
+					st.Generated++
+					old := m[i]
+					if pr.moveGain(m, event.ID(i), event.ID(b)) > eps {
+						m[i] = event.ID(b)
+						if old != event.None {
+							used[old] = false
+						}
+						used[b] = true
+						improved = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// swapGain returns the change in pattern normal distance if m[i] and m[j]
+// exchange targets, touching only the patterns containing i or j.
+func (pr *Problem) swapGain(m Mapping, i, j event.ID) float64 {
+	affected := pr.affectedPatterns(i, j)
+	before := pr.patternsScore(affected, m)
+	m[i], m[j] = m[j], m[i]
+	after := pr.patternsScore(affected, m)
+	m[i], m[j] = m[j], m[i]
+	return after - before
+}
+
+// rotateGain returns the change in pattern normal distance for the 3-cycle
+// m[i]←m[j]←m[k]←m[i], touching only the patterns containing i, j or k.
+func (pr *Problem) rotateGain(m Mapping, i, j, k event.ID) float64 {
+	affected := pr.affectedPatterns(i, j)
+	for _, pi := range pr.pix.Containing(k) {
+		dup := false
+		for _, q := range affected {
+			if q == pi {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			affected = append(affected, pi)
+		}
+	}
+	before := pr.patternsScore(affected, m)
+	mi, mj, mk := m[i], m[j], m[k]
+	m[i], m[j], m[k] = mj, mk, mi
+	after := pr.patternsScore(affected, m)
+	m[i], m[j], m[k] = mi, mj, mk
+	return after - before
+}
+
+// moveGain returns the change in pattern normal distance if m[i] is
+// re-targeted to the unused event b.
+func (pr *Problem) moveGain(m Mapping, i, b event.ID) float64 {
+	affected := pr.pix.Containing(i)
+	before := pr.patternsScore(affected, m)
+	old := m[i]
+	m[i] = b
+	after := pr.patternsScore(affected, m)
+	m[i] = old
+	return after - before
+}
+
+// affectedPatterns returns the union of pattern indices containing i or j.
+func (pr *Problem) affectedPatterns(i, j event.ID) []int {
+	a, b := pr.pix.Containing(i), pr.pix.Containing(j)
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	for _, pi := range b {
+		dup := false
+		for _, q := range a {
+			if q == pi {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// patternsScore sums d(p) over the given (fully mapped) pattern indices.
+func (pr *Problem) patternsScore(idxs []int, m Mapping) float64 {
+	total := 0.0
+	for _, pi := range idxs {
+		p := &pr.patterns[pi]
+		if fullyMapped(p, m) {
+			total += pr.contribution(p, m)
+		}
+	}
+	return total
+}
+
+// rowOrder returns row indices 0..n-1 with the real V1 events first in
+// §3.1 pattern-degree order, then any dummy rows.
+func (pr *Problem) rowOrder(n int) []int {
+	out := make([]int, 0, n)
+	for _, v := range pr.order {
+		out = append(out, int(v))
+	}
+	for i := len(pr.order); i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// thetaMatrix computes the estimated score θ(v1, v2) of Formula (2), padded
+// to n×n with zero rows/columns for dummy events.
+//
+// Formula (2) estimates f2(M(p)) of every pattern containing v1 by the
+// vertex frequency f2(v2). That estimate is exact for vertex patterns and
+// crude for larger ones (the paper notes it is exact only "if f2(v2)
+// perfectly estimates f2(p2)"). Comparing a k-event pattern frequency
+// against a single-vertex frequency systematically pulls events toward
+// targets whose vertex frequency happens to match a pattern frequency, so
+// for multi-event patterns we use the sharper admissible estimate
+// min(f2(v2), f1(p)) — "assume the mapped pattern is as frequent as it can
+// be, capped by the vertex we know". This keeps the two exactness
+// properties of §5.1.1 (vertex patterns remain exact) while making θ a
+// sound optimistic estimate instead of a biased one.
+func (pr *Problem) thetaMatrix(n int) [][]float64 {
+	n1, n2 := pr.L1.NumEvents(), pr.n2pad
+	theta := make([][]float64, n)
+	for i := range theta {
+		theta[i] = make([]float64, n)
+	}
+	for v1 := 0; v1 < n1; v1++ {
+		for _, piIdx := range pr.pix.Containing(event.ID(v1)) {
+			pi := &pr.patterns[piIdx]
+			inv := 1 / float64(len(pi.events))
+			for v2 := 0; v2 < n2; v2++ {
+				f2 := pr.G2.VertexFreq(event.ID(v2))
+				if len(pi.events) > 1 && f2 > pi.f1 {
+					f2 = pi.f1
+				}
+				theta[v1][v2] += inv * Sim(pi.f1, f2)
+			}
+		}
+	}
+	return theta
+}
+
+// Theta exposes θ(v1, v2) for diagnostics and tests.
+func (pr *Problem) Theta(v1, v2 event.ID) float64 {
+	total := 0.0
+	for _, piIdx := range pr.pix.Containing(v1) {
+		pi := &pr.patterns[piIdx]
+		f2 := pr.G2.VertexFreq(v2)
+		if len(pi.events) > 1 && f2 > pi.f1 {
+			f2 = pi.f1
+		}
+		total += Sim(pi.f1, f2) / float64(len(pi.events))
+	}
+	return total
+}
+
+// alternatingTree is Algorithm 4: grow the maximal alternating tree rooted at
+// row u, updating a copy of the labeling via Formulas (3)/(4) until every
+// column is in the tree. It returns the updated labels, the way array (the
+// tree row through which each column was reached, for path extraction) and
+// the free columns — each of which terminates one augmenting path.
+func alternatingTree(u int, theta [][]float64, lx, ly []float64, matchX, matchY []int) (tlx, tly []float64, way []int, freeCols []int) {
+	n := len(lx)
+	tlx = append([]float64(nil), lx...)
+	tly = append([]float64(nil), ly...)
+	way = make([]int, n)
+	slack := make([]float64, n)
+	inS := make([]bool, n)
+	inT := make([]bool, n)
+	inS[u] = true
+	for j := 0; j < n; j++ {
+		slack[j] = tlx[u] + tly[j] - theta[u][j]
+		way[j] = u
+	}
+	const eps = 1e-12
+	for added := 0; added < n; added++ {
+		delta := math.Inf(1)
+		jNext := -1
+		for j := 0; j < n; j++ {
+			if !inT[j] && slack[j] < delta {
+				delta = slack[j]
+				jNext = j
+			}
+		}
+		if jNext == -1 {
+			break
+		}
+		if delta > eps {
+			for i := 0; i < n; i++ {
+				if inS[i] {
+					tlx[i] -= delta
+				}
+			}
+			for j := 0; j < n; j++ {
+				if inT[j] {
+					tly[j] += delta
+				} else {
+					slack[j] -= delta
+				}
+			}
+		}
+		inT[jNext] = true
+		if i := matchY[jNext]; i != -1 {
+			if !inS[i] {
+				inS[i] = true
+				for j := 0; j < n; j++ {
+					if !inT[j] {
+						if s := tlx[i] + tly[j] - theta[i][j]; s < slack[j] {
+							slack[j] = s
+							way[j] = i
+						}
+					}
+				}
+			}
+		} else {
+			freeCols = append(freeCols, jNext)
+		}
+	}
+	return tlx, tly, way, freeCols
+}
+
+// augment flips the matching along the alternating path ending at the free
+// column endCol, using the way chain back to the tree root.
+func augment(matchX, matchY []int, way []int, endCol int) {
+	j := endCol
+	for j != -1 {
+		i := way[j]
+		next := matchX[i]
+		matchX[i] = j
+		matchY[j] = i
+		j = next
+	}
+}
+
+// scorePadded evaluates g+h for a padded matching state: dummy rows/columns
+// are ignored; columns held by dummy rows stay available to the bound's U2.
+func (pr *Problem) scorePadded(matchX []int, n1, n2 int, bound BoundKind) float64 {
+	m := NewMapping(n1)
+	used := make([]bool, n2)
+	for i := 0; i < n1; i++ {
+		if j := matchX[i]; j >= 0 && j < n2 {
+			m[i] = event.ID(j)
+			used[j] = true
+		}
+	}
+	return pr.Distance(m) + pr.hBound(bound, m, used)
+}

@@ -1,0 +1,191 @@
+package match
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+
+	"eventmatch/internal/event"
+)
+
+// ErrBudgetExceeded reports that a search exhausted its node or time budget
+// before proving optimality (the paper's "cannot return results" outcome for
+// Exact on large event sets, Fig. 12).
+var ErrBudgetExceeded = errors.New("match: search budget exceeded")
+
+// Options control the search algorithms.
+type Options struct {
+	Bound BoundKind // h-function for A* and the greedy heuristic
+
+	// MaxGenerated caps the number of candidate mappings M' processed
+	// (Line 7 of Algorithm 1); 0 means unlimited.
+	MaxGenerated int
+
+	// MaxDuration caps wall-clock time; 0 means unlimited.
+	MaxDuration time.Duration
+
+	// Ablation switches (all false in normal operation).
+
+	// NaiveOrder expands V1 events in id order instead of the §3.1
+	// most-patterns-first order.
+	NaiveOrder bool
+	// NoSeed disables HeuristicAdvanced's pattern-anchoring phase.
+	NoSeed bool
+	// NoRepair disables HeuristicAdvanced's pattern-guided repair phase.
+	NoRepair bool
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Expanded  int           // tree nodes popped and expanded
+	Generated int           // candidate mappings M' processed (the paper's Fig. 7c metric)
+	Elapsed   time.Duration // wall-clock time
+	Score     float64       // pattern normal distance of the returned mapping
+}
+
+// node is an A* search-tree node: a partial mapping with its g and h values.
+type node struct {
+	m     Mapping
+	used  []bool
+	depth int
+	g, h  float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	fi, fj := h[i].g+h[i].h, h[j].g+h[j].h
+	if fi != fj {
+		return fi > fj // max-heap on the upper bound
+	}
+	return h[i].depth > h[j].depth // tie-break: deeper nodes first
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// AStar finds the optimal mapping maximizing the pattern normal distance, via
+// the best-first search of Algorithm 1. The returned mapping covers
+// min(|V1|, |V2|) events. If the budget runs out, it returns the best
+// complete-so-far information available wrapped in ErrBudgetExceeded (the
+// mapping result is nil in that case).
+func (pr *Problem) AStar(opts Options) (Mapping, Stats, error) {
+	start := time.Now()
+	var st Stats
+	n1, n2 := pr.L1.NumEvents(), pr.n2pad
+	depthGoal := n1
+	if n2 < depthGoal {
+		depthGoal = n2
+	}
+
+	root := &node{
+		m:    NewMapping(n1),
+		used: make([]bool, n2),
+	}
+	root.h = pr.hBound(opts.Bound, root.m, root.used)
+
+	q := &nodeHeap{root}
+	heap.Init(q)
+
+	for q.Len() > 0 {
+		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
+			st.Elapsed = time.Since(start)
+			return nil, st, ErrBudgetExceeded
+		}
+		cur := heap.Pop(q).(*node)
+		if cur.depth == depthGoal {
+			st.Elapsed = time.Since(start)
+			st.Score = cur.g
+			return pr.stripArtificial(cur.m), st, nil
+		}
+		st.Expanded++
+		a := pr.expandEvent(cur.depth, opts)
+		for b := 0; b < n2; b++ {
+			if cur.used[b] {
+				continue
+			}
+			if opts.MaxGenerated > 0 && st.Generated >= opts.MaxGenerated {
+				st.Elapsed = time.Since(start)
+				return nil, st, ErrBudgetExceeded
+			}
+			st.Generated++
+			child := pr.expand(cur, a, event.ID(b), opts.Bound)
+			heap.Push(q, child)
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return nil, st, errors.New("match: search space exhausted without a complete mapping")
+}
+
+// expandEvent picks the V1 event to expand at the given depth.
+func (pr *Problem) expandEvent(depth int, opts Options) event.ID {
+	if opts.NaiveOrder {
+		return event.ID(depth)
+	}
+	return pr.order[depth]
+}
+
+// expand creates the child of cur obtained by appending a→b, computing g
+// incrementally from the newly completed patterns (§3.2) and h from the
+// selected bound.
+func (pr *Problem) expand(cur *node, a, b event.ID, bound BoundKind) *node {
+	child := &node{
+		m:     cur.m.Clone(),
+		used:  append([]bool(nil), cur.used...),
+		depth: cur.depth + 1,
+		g:     cur.g,
+	}
+	child.m[a] = b
+	child.used[b] = true
+	for _, piIdx := range pr.pix.NewlyCompleted(a, func(v event.ID) bool { return child.m[v] != event.None && v != a }) {
+		child.g += pr.contribution(&pr.patterns[piIdx], child.m)
+	}
+	child.h = pr.hBound(bound, child.m, child.used)
+	return child
+}
+
+// BruteForce enumerates every injective mapping and returns the optimum. It
+// exists to validate AStar on small instances and as the naive strawman of
+// Section 3's opening complexity discussion.
+func (pr *Problem) BruteForce() (Mapping, float64) {
+	n1, n2 := pr.L1.NumEvents(), pr.n2pad
+	depthGoal := n1
+	if n2 < depthGoal {
+		depthGoal = n2
+	}
+	best := -1.0
+	var bestM Mapping
+	m := NewMapping(n1)
+	used := make([]bool, n2)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == depthGoal {
+			if s := pr.Distance(m); s > best {
+				best = s
+				bestM = m.Clone()
+			}
+			return
+		}
+		a := pr.order[depth]
+		for b := 0; b < n2; b++ {
+			if used[b] {
+				continue
+			}
+			used[b] = true
+			m[a] = event.ID(b)
+			rec(depth + 1)
+			m[a] = event.None
+			used[b] = false
+		}
+	}
+	rec(0)
+	return pr.stripArtificial(bestM), best
+}

@@ -1,0 +1,267 @@
+package match
+
+import (
+	"sort"
+
+	"eventmatch/internal/event"
+)
+
+// BoundKind selects the h-function used to over-estimate the contribution of
+// not-yet-mapped patterns during search.
+type BoundKind int
+
+// Bound kinds: the §3.3 simple bound (1.0 per remaining pattern), the §4
+// tight bound (Algorithm 2 / Table 2), and this implementation's sharp bound
+// — an extension beyond the paper that exploits the discreteness of
+// achievable vertex/edge frequencies (see patternBound).
+const (
+	BoundSimple BoundKind = iota
+	BoundTight
+	BoundSharp
+)
+
+func (b BoundKind) String() string {
+	switch b {
+	case BoundTight:
+		return "tight"
+	case BoundSharp:
+		return "sharp"
+	default:
+		return "simple"
+	}
+}
+
+// boundContext carries the per-search-node precomputation shared by all
+// pattern bounds: the unmapped target set U2, its max vertex and edge
+// frequencies, and the sorted frequency value sets used by the sharpened
+// vertex/edge bounds.
+type boundContext struct {
+	pr    *Problem
+	inU2  []bool
+	numU2 int
+	fnU2  float64 // max vertex frequency within U2
+	feU2  float64 // max edge frequency within the subgraph induced by U2
+
+	vfreqs []float64 // sorted vertex frequencies of U2 members
+	efreqs []float64 // sorted edge frequencies within the U2-induced subgraph
+}
+
+// newBoundContext builds the context for the unmapped target set encoded in
+// used (used[v2] == true means v2 is already an image of the mapping).
+func newBoundContext(pr *Problem, used []bool) *boundContext {
+	n2 := pr.n2pad
+	bc := &boundContext{pr: pr, inU2: make([]bool, n2)}
+	for v := 0; v < n2; v++ {
+		if !used[v] {
+			bc.inU2[v] = true
+			bc.numU2++
+			f := pr.G2.VertexFreq(event.ID(v))
+			bc.vfreqs = append(bc.vfreqs, f)
+			if f > bc.fnU2 {
+				bc.fnU2 = f
+			}
+		}
+	}
+	for _, e := range pr.G2.Edges() {
+		if bc.inU2[e.From] && bc.inU2[e.To] {
+			f := pr.G2.EdgeFreq(e.From, e.To)
+			bc.efreqs = append(bc.efreqs, f)
+			if f > bc.feU2 {
+				bc.feU2 = f
+			}
+		}
+	}
+	sort.Float64s(bc.vfreqs)
+	sort.Float64s(bc.efreqs)
+	return bc
+}
+
+// bestSim returns max over f in the sorted candidate frequencies of
+// Sim(f1, f). Sim(f1, ·) rises up to f1 and falls after it, so only the two
+// values bracketing f1 matter.
+func bestSim(f1 float64, sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, f1)
+	best := 0.0
+	if i < len(sorted) {
+		if s := Sim(f1, sorted[i]); s > best {
+			best = s
+		}
+	}
+	if i > 0 {
+		if s := Sim(f1, sorted[i-1]); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// patternBound computes Δ(p, allowed) where allowed is M(mapped events of p)
+// ∪ U2. m supplies the fixed images of p's already mapped events.
+//
+// For complex patterns this is Algorithm 2 / Table 2: Δ = 0 when the pattern
+// cannot fit in the allowed set, otherwise 1 − (f1−fmin)/(f1+fmin) with
+// fmin = min(fn, ω(p)·fe). Two sharpenings apply on top:
+//
+//   - Proposition 3 on the already-fixed part: if two mapped events of p
+//     share a pattern edge whose image edge is absent from G2, Δ = 0.
+//   - Vertex and edge patterns take their f2 from an actual frequency value
+//     of the allowed set (a vertex frequency, respectively an edge
+//     frequency), and Sim(f1, ·) is unimodal — so Δ is the similarity to
+//     the nearest achievable frequency rather than the Table 2 cap. This is
+//     what makes the tight bound prune hard when the two logs' frequency
+//     spectra differ.
+func (bc *boundContext) patternBound(pi *pinfo, m Mapping, sharp bool) float64 {
+	pr := bc.pr
+	// Collect the images of p's mapped events.
+	var images []event.ID
+	for _, v := range pi.events {
+		if v2 := m[v]; v2 != event.None {
+			images = append(images, v2)
+		}
+	}
+	// Partially-fixed Prop. 3 cut.
+	if len(pi.edges) > 0 {
+		for _, e := range pi.edges {
+			a, b := m[e.From], m[e.To]
+			if a != event.None && b != event.None && !pr.G2.HasEdge(a, b) {
+				return 0
+			}
+		}
+	}
+	// Size cut: the pattern needs |V(p)| distinct targets among allowed.
+	if len(pi.events) > bc.numU2+len(images) {
+		return 0
+	}
+	if !sharp {
+		// Paper-faithful Algorithm 2 for every pattern kind.
+		return bc.complexBound(pi, images)
+	}
+
+	switch pi.kind {
+	case KindVertex:
+		v := pi.events[0]
+		if img := m[v]; img != event.None {
+			// Fully determined (shouldn't normally reach here — the caller
+			// only bounds incomplete patterns — but self-loop edge patterns
+			// share this path).
+			return Sim(pi.f1, pr.f2(pi, m))
+		}
+		if len(pi.edges) == 1 {
+			// Self-loop edge pattern: achievable f2 values are self-loop
+			// frequencies within U2; fall back to the generic edge spectrum.
+			return bestSim(pi.f1, bc.efreqs)
+		}
+		return bestSim(pi.f1, bc.vfreqs)
+	case KindEdge:
+		a, b := pi.events[0], pi.events[1]
+		ma, mb := m[a], m[b]
+		switch {
+		case ma != event.None && mb != event.None:
+			return Sim(pi.f1, pr.G2.EdgeFreq(ma, mb))
+		case ma != event.None:
+			// Achievable f2: frequencies of edges ma → U2.
+			best := 0.0
+			for _, y := range pr.G2.Successors(ma) {
+				if bc.inU2[y] {
+					if s := Sim(pi.f1, pr.G2.EdgeFreq(ma, y)); s > best {
+						best = s
+					}
+				}
+			}
+			return best
+		case mb != event.None:
+			best := 0.0
+			for _, y := range pr.G2.Predecessors(mb) {
+				if bc.inU2[y] {
+					if s := Sim(pi.f1, pr.G2.EdgeFreq(y, mb)); s > best {
+						best = s
+					}
+				}
+			}
+			return best
+		default:
+			return bestSim(pi.f1, bc.efreqs)
+		}
+	default:
+		return bc.complexBound(pi, images)
+	}
+}
+
+// complexBound is Algorithm 2: fmin = min(fn, ω·fe) over the allowed set
+// U2 ∪ images. (For a vertex pattern ω·fe does not apply; the fn term alone
+// bounds it.)
+func (bc *boundContext) complexBound(pi *pinfo, images []event.ID) float64 {
+	pr := bc.pr
+	fn := bc.fnU2
+	for _, x := range images {
+		if f := pr.G2.VertexFreq(x); f > fn {
+			fn = f
+		}
+	}
+	fe := bc.feU2
+	inImages := func(y event.ID) bool {
+		for _, x := range images {
+			if x == y {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range images {
+		for _, y := range pr.G2.Successors(x) {
+			if bc.inU2[y] || inImages(y) || y == x {
+				if f := pr.G2.EdgeFreq(x, y); f > fe {
+					fe = f
+				}
+			}
+		}
+		for _, y := range pr.G2.Predecessors(x) {
+			if bc.inU2[y] || inImages(y) {
+				if f := pr.G2.EdgeFreq(y, x); f > fe {
+					fe = f
+				}
+			}
+		}
+	}
+	// Table 2 bounds: f2(M(p)) ≤ min(fn, ω(p)·fe); a single-event pattern
+	// is bounded by vertex frequencies only.
+	fmin := fn
+	if len(pi.events) > 1 {
+		if ofe := float64(pi.omega) * fe; ofe < fmin {
+			fmin = ofe
+		}
+	}
+	if fmin >= pi.f1 {
+		return 1
+	}
+	return 1 - (pi.f1-fmin)/(pi.f1+fmin)
+}
+
+// hBound computes h(M, U1, U2): the summed upper bounds over all patterns
+// not yet fully mapped. used marks the images already taken in V2.
+func (pr *Problem) hBound(kind BoundKind, m Mapping, used []bool) float64 {
+	switch kind {
+	case BoundSimple:
+		h := 0.0
+		for i := range pr.patterns {
+			if !fullyMapped(&pr.patterns[i], m) {
+				h++
+			}
+		}
+		return h
+	default:
+		bc := newBoundContext(pr, used)
+		sharp := kind == BoundSharp
+		h := 0.0
+		for i := range pr.patterns {
+			pi := &pr.patterns[i]
+			if !fullyMapped(pi, m) {
+				h += bc.patternBound(pi, m, sharp)
+			}
+		}
+		return h
+	}
+}

@@ -1,0 +1,50 @@
+package match
+
+import (
+	"errors"
+	"time"
+
+	"eventmatch/internal/event"
+)
+
+// GreedyExpand is Heuristic-Simple (§5 opening): instead of keeping the whole
+// A* frontier, each step expands only the single a→b child with the largest
+// g+h and commits to it. Fast, but an early wrong commitment can never be
+// undone — the deficiency Heuristic-Advanced addresses.
+func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
+	start := time.Now()
+	var st Stats
+	n1, n2 := pr.L1.NumEvents(), pr.n2pad
+	depthGoal := n1
+	if n2 < depthGoal {
+		depthGoal = n2
+	}
+	cur := &node{m: NewMapping(n1), used: make([]bool, n2)}
+	for cur.depth < depthGoal {
+		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
+			st.Elapsed = time.Since(start)
+			return nil, st, ErrBudgetExceeded
+		}
+		st.Expanded++
+		a := pr.expandEvent(cur.depth, opts)
+		var best *node
+		for b := 0; b < n2; b++ {
+			if cur.used[b] {
+				continue
+			}
+			st.Generated++
+			child := pr.expand(cur, a, event.ID(b), opts.Bound)
+			if best == nil || child.g+child.h > best.g+best.h {
+				best = child
+			}
+		}
+		if best == nil {
+			st.Elapsed = time.Since(start)
+			return nil, st, errors.New("match: no unmapped target event left")
+		}
+		cur = best
+	}
+	st.Elapsed = time.Since(start)
+	st.Score = cur.g
+	return pr.stripArtificial(cur.m), st, nil
+}

@@ -1,0 +1,117 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eventmatch/internal/isomorph"
+)
+
+func pathGraph(n int) *isomorph.Graph {
+	g := isomorph.NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *isomorph.Graph {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func TestReductionConstruction(t *testing.T) {
+	g1 := pathGraph(3) // 2 edges
+	g2 := cycleGraph(4)
+	l1, l2, patterns, err := ReduceSubgraphIsomorphism(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patterns) != 2 {
+		t.Fatalf("patterns = %d, want |E1| = 2", len(patterns))
+	}
+	if l1.NumTraces() != l2.NumTraces() {
+		t.Fatalf("log sizes differ: %d vs %d", l1.NumTraces(), l2.NumTraces())
+	}
+	// Every pattern must have frequency 1/|L| in L1.
+	for i, p := range patterns {
+		want := 1 / float64(l1.NumTraces())
+		if got := p.Frequency(l1); got != want {
+			t.Errorf("pattern %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDecidePositive(t *testing.T) {
+	ok, err := DecideSubgraphIsomorphism(pathGraph(3), cycleGraph(5), Options{Bound: BoundSharp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("path3 embeds in cycle5; matcher said no")
+	}
+}
+
+func TestDecideNegative(t *testing.T) {
+	ok, err := DecideSubgraphIsomorphism(cycleGraph(3), pathGraph(5), Options{Bound: BoundSharp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cycle3 does not embed in path5; matcher said yes")
+	}
+}
+
+func TestDecideEdgeless(t *testing.T) {
+	ok, err := DecideSubgraphIsomorphism(isomorph.NewGraph(2), isomorph.NewGraph(3), Options{Bound: BoundSharp})
+	if err != nil || !ok {
+		t.Errorf("edgeless small-into-large: ok=%v err=%v", ok, err)
+	}
+	ok, err = DecideSubgraphIsomorphism(isomorph.NewGraph(4), isomorph.NewGraph(3), Options{Bound: BoundSharp})
+	if err != nil || ok {
+		t.Errorf("edgeless large-into-small: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestReductionEmptyGraphs(t *testing.T) {
+	if _, _, _, err := ReduceSubgraphIsomorphism(isomorph.NewGraph(0), pathGraph(2)); err == nil {
+		t.Error("empty graph must fail")
+	}
+}
+
+// Property (Theorem 1): the matcher's decision equals the direct subgraph
+// isomorphism search on random small graphs.
+func TestTheorem1EquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 2 + rng.Intn(3) // 2..4 pattern vertices
+		n2 := n1 + rng.Intn(3)
+		g1 := isomorph.NewGraph(n1)
+		g2 := isomorph.NewGraph(n2)
+		for v := 0; v < n1; v++ {
+			for u := 0; u < n1; u++ {
+				if v != u && rng.Float64() < 0.4 {
+					g1.AddEdge(v, u)
+				}
+			}
+		}
+		for v := 0; v < n2; v++ {
+			for u := 0; u < n2; u++ {
+				if v != u && rng.Float64() < 0.5 {
+					g2.AddEdge(v, u)
+				}
+			}
+		}
+		_, direct := isomorph.FindSubgraphIsomorphism(g1, g2, false)
+		viaMatcher, err := DecideSubgraphIsomorphism(g1, g2, Options{Bound: BoundSharp})
+		if err != nil {
+			return false
+		}
+		return direct == viaMatcher
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+package match
+
+import (
+	"testing"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/pattern"
+)
+
+// chainLogs builds two renamed copies of a two-block chained process:
+// perm(A,B) X perm(C,D) Y — the blocks are structurally identical, so only
+// chain context separates them.
+func chainLogs() (*event.Log, *event.Log, Mapping) {
+	l1 := event.FromStrings(
+		"A B X C D Y",
+		"B A X D C Y",
+		"A B X C D Y",
+		"B A X C D Y",
+		"A B X D C Y",
+	)
+	l2 := event.FromStrings(
+		"a b x c d y",
+		"b a x d c y",
+		"a b x c d y",
+		"b a x c d y",
+		"a b x d c y",
+	)
+	truth := NewMapping(l1.NumEvents())
+	for n1, n2 := range map[string]string{"A": "a", "B": "b", "X": "x", "C": "c", "D": "d", "Y": "y"} {
+		truth[l1.Alphabet.Lookup(n1)] = l2.Alphabet.Lookup(n2)
+	}
+	return l1, l2, truth
+}
+
+func chainPatterns(t *testing.T, l1 *event.Log) []*pattern.Pattern {
+	t.Helper()
+	var out []*pattern.Pattern
+	for _, src := range []string{"SEQ(AND(A,B),X)", "SEQ(AND(C,D),Y)"} {
+		p, err := pattern.ParseBind(src, l1.Alphabet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestSeedFromPatternsAnchorsBlocks(t *testing.T) {
+	l1, l2, truth := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	seeds := pr.seedFromPatterns(&st)
+	if len(seeds) == 0 {
+		t.Fatal("no anchors committed")
+	}
+	// Anchors must never conflict and must all be correct here: the chain
+	// context (X between the blocks, Y terminal) disambiguates fully.
+	seenTarget := map[int]bool{}
+	for _, s := range seeds {
+		if seenTarget[s[1]] {
+			t.Fatalf("target %d used twice", s[1])
+		}
+		seenTarget[s[1]] = true
+		if truth[s[0]] != event.ID(s[1]) {
+			t.Errorf("anchor %s -> %s wrong (truth %s)",
+				l1.Alphabet.Name(event.ID(s[0])), l2.Alphabet.Name(event.ID(s[1])),
+				l2.Alphabet.Name(truth[s[0]]))
+		}
+	}
+	if st.Generated == 0 {
+		t.Error("seeding reported no work")
+	}
+}
+
+func TestSeedFromPatternsNoComplexPatterns(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, nil, ModeVertexEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if seeds := pr.seedFromPatterns(&st); seeds != nil {
+		t.Errorf("vertex+edge problems must not seed: %v", seeds)
+	}
+}
+
+func TestHeuristicAdvancedNoSeedOption(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both variants must complete; the ablation option must not crash or
+	// change the mapping's completeness.
+	for _, opts := range []Options{
+		{Bound: BoundSimple},
+		{Bound: BoundSimple, NoSeed: true},
+		{Bound: BoundSimple, NoRepair: true},
+		{Bound: BoundSimple, NoSeed: true, NoRepair: true},
+	} {
+		m, _, err := pr.HeuristicAdvanced(opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !m.Complete() {
+			t.Errorf("%+v: incomplete mapping", opts)
+		}
+	}
+}
+
+func TestRepairFixesSwappedPair(t *testing.T) {
+	l1, l2, truth := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from the truth with A and X swapped — a mistake that pattern
+	// evidence clearly penalizes.
+	m := truth.Clone()
+	a, x := l1.Alphabet.Lookup("A"), l1.Alphabet.Lookup("X")
+	m[a], m[x] = m[x], m[a]
+	before := pr.Distance(m)
+	var st Stats
+	pr.repair(m, &st, Options{}, time.Now())
+	after := pr.Distance(m)
+	if after < before {
+		t.Errorf("repair decreased score: %v -> %v", before, after)
+	}
+	if after < pr.Distance(truth)-1e-9 {
+		t.Errorf("repair stuck below truth score: %v < %v", after, pr.Distance(truth))
+	}
+}
+
+func TestSwapAndMoveGains(t *testing.T) {
+	l1, l2, truth := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := truth.Clone()
+	a, b := l1.Alphabet.Lookup("A"), l1.Alphabet.Lookup("X")
+	// Gain of swapping then swapping back must be opposite.
+	g1 := pr.swapGain(m, a, b)
+	m[a], m[b] = m[b], m[a]
+	g2 := pr.swapGain(m, a, b)
+	if g1+g2 > 1e-9 || g1+g2 < -1e-9 {
+		t.Errorf("swap gains not antisymmetric: %v and %v", g1, g2)
+	}
+	// swapGain must not mutate the mapping.
+	m2 := m.Clone()
+	pr.swapGain(m, a, b)
+	for i := range m {
+		if m[i] != m2[i] {
+			t.Fatal("swapGain mutated the mapping")
+		}
+	}
+	// rotateGain must not mutate either.
+	c := l1.Alphabet.Lookup("C")
+	pr.rotateGain(m, a, b, c)
+	for i := range m {
+		if m[i] != m2[i] {
+			t.Fatal("rotateGain mutated the mapping")
+		}
+	}
+}
+
+func TestBoundSharpTighterThanTight(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := NewMapping(l1.NumEvents())
+	used := make([]bool, l2.NumEvents())
+	bc := newBoundContext(pr, used)
+	for i := range pr.patterns {
+		pi := &pr.patterns[i]
+		tight := bc.patternBound(pi, empty, false)
+		sharp := bc.patternBound(pi, empty, true)
+		if sharp > tight+1e-9 {
+			t.Errorf("pattern %d: sharp %v > tight %v", i, sharp, tight)
+		}
+	}
+}
+
+func TestBestSim(t *testing.T) {
+	sorted := []float64{0.1, 0.3, 0.8}
+	if got := bestSim(0.3, sorted); got != 1 {
+		t.Errorf("exact hit = %v, want 1", got)
+	}
+	if got := bestSim(0.5, sorted); !approx(got, Sim(0.5, 0.3)) && !approx(got, Sim(0.5, 0.8)) {
+		t.Errorf("between = %v", got)
+	}
+	want := Sim(0.5, 0.3)
+	if Sim(0.5, 0.8) > want {
+		want = Sim(0.5, 0.8)
+	}
+	if got := bestSim(0.5, sorted); !approx(got, want) {
+		t.Errorf("bestSim = %v, want max neighbour %v", got, want)
+	}
+	if got := bestSim(0.5, nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := bestSim(0.05, sorted); !approx(got, Sim(0.05, 0.1)) {
+		t.Errorf("below min = %v", got)
+	}
+	if got := bestSim(0.9, sorted); !approx(got, Sim(0.9, 0.8)) {
+		t.Errorf("above max = %v", got)
+	}
+}

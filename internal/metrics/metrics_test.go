@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/match"
+)
+
+func m(ids ...int) match.Mapping {
+	out := make(match.Mapping, len(ids))
+	for i, v := range ids {
+		out[i] = event.ID(v)
+	}
+	return out
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	truth := m(2, 0, 1)
+	q := Evaluate(truth, truth)
+	if q.Precision != 1 || q.Recall != 1 || q.FMeasure != 1 || q.Correct != 3 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	truth := m(0, 1, 2, 3)
+	found := m(0, 1, 3, 2) // two right, two swapped
+	q := Evaluate(found, truth)
+	if q.Correct != 2 || q.Found != 4 || q.Truth != 4 {
+		t.Fatalf("counts = %+v", q)
+	}
+	if q.Precision != 0.5 || q.Recall != 0.5 || q.FMeasure != 0.5 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestEvaluateUnmappedEntries(t *testing.T) {
+	truth := m(0, 1, 2)
+	found := match.Mapping{0, event.None, 2}
+	q := Evaluate(found, truth)
+	if q.Correct != 2 || q.Found != 2 || q.Truth != 3 {
+		t.Fatalf("counts = %+v", q)
+	}
+	if q.Precision != 1.0 || math.Abs(q.Recall-2.0/3.0) > 1e-12 {
+		t.Errorf("q = %+v", q)
+	}
+	wantF := 2 * 1.0 * (2.0 / 3.0) / (1.0 + 2.0/3.0)
+	if math.Abs(q.FMeasure-wantF) > 1e-12 {
+		t.Errorf("F = %v, want %v", q.FMeasure, wantF)
+	}
+}
+
+func TestEvaluateDisjoint(t *testing.T) {
+	q := Evaluate(m(1, 0), m(0, 1))
+	if q.Correct != 0 || q.Precision != 0 || q.Recall != 0 || q.FMeasure != 0 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestEvaluateEmptyMappings(t *testing.T) {
+	q := Evaluate(match.NewMapping(3), match.NewMapping(3))
+	if q.FMeasure != 0 || q.Precision != 0 || q.Recall != 0 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestEvaluateDifferentLengths(t *testing.T) {
+	// found shorter than truth: extra truth entries count toward recall only.
+	truth := m(0, 1, 2)
+	found := m(0, 1)
+	q := Evaluate(found, truth)
+	if q.Correct != 2 || q.Found != 2 || q.Truth != 3 {
+		t.Errorf("q = %+v", q)
+	}
+}
+
+func TestMeanF(t *testing.T) {
+	if MeanF(nil) != 0 {
+		t.Error("empty MeanF must be 0")
+	}
+	qs := []Quality{{FMeasure: 1}, {FMeasure: 0.5}}
+	if got := MeanF(qs); got != 0.75 {
+		t.Errorf("MeanF = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,41 @@
+package pattern
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the pattern parser never panics and that everything it
+// accepts renders back to a string it accepts again (idempotent round trip).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"A",
+		"SEQ(A,B)",
+		"AND(A,B,C)",
+		"SEQ(A,AND(B,C),D)",
+		"seq( A , and(B, C) , D )",
+		"AND(SEQ(A,B),SEQ(C,D),E)",
+		"SEQ(",
+		"))((",
+		"SEQ(A,,B)",
+		"AND",
+		"",
+		"SEQ(A,B))",
+		"名前 SEQ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered %q failed: %v", rendered, err)
+		}
+		if e2.String() != rendered {
+			t.Fatalf("render not idempotent: %q -> %q", rendered, e2.String())
+		}
+	})
+}

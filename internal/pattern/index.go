@@ -1,0 +1,236 @@
+package pattern
+
+import (
+	"sort"
+
+	"eventmatch/internal/event"
+)
+
+// PatternIndex is the inverted index Ip of Section 3.2.1: for each event, the
+// (indices of) patterns that contain it.
+type PatternIndex struct {
+	patterns []*Pattern
+	byEvent  map[event.ID][]int
+}
+
+// NewPatternIndex indexes the given pattern set. The slice is retained; the
+// index refers to patterns by their position in it.
+func NewPatternIndex(patterns []*Pattern) *PatternIndex {
+	ix := &PatternIndex{patterns: patterns, byEvent: make(map[event.ID][]int)}
+	for i, p := range patterns {
+		for _, v := range p.Events() {
+			ix.byEvent[v] = append(ix.byEvent[v], i)
+		}
+	}
+	return ix
+}
+
+// Patterns returns the indexed pattern set.
+func (ix *PatternIndex) Patterns() []*Pattern { return ix.patterns }
+
+// Containing returns the indices of patterns containing event v.
+func (ix *PatternIndex) Containing(v event.ID) []int { return ix.byEvent[v] }
+
+// Degree returns the number of patterns containing event v; the A* expansion
+// order picks the unmapped event with the highest degree first (§3.1).
+func (ix *PatternIndex) Degree(v event.ID) int { return len(ix.byEvent[v]) }
+
+// NewlyCompleted returns the indices of patterns whose event sets are fully
+// inside mapped∪{a} but were not fully inside mapped — i.e. the set P_new of
+// Section 3.2.1 when the partial mapping is extended by event a. mapped must
+// report the previously mapped events.
+func (ix *PatternIndex) NewlyCompleted(a event.ID, mapped func(event.ID) bool) []int {
+	var out []int
+	for _, pi := range ix.byEvent[a] {
+		p := ix.patterns[pi]
+		complete := true
+		for _, v := range p.Events() {
+			if v != a && !mapped(v) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// TraceIndex is the inverted index It of Section 3.2.3: for each event, the
+// sorted list of trace positions (indices into the log) containing it.
+type TraceIndex struct {
+	log     *event.Log
+	byEvent [][]int32
+}
+
+// NewTraceIndex builds the trace index for a log.
+func NewTraceIndex(l *event.Log) *TraceIndex {
+	ix := &TraceIndex{log: l, byEvent: make([][]int32, l.NumEvents())}
+	seen := make([]bool, l.NumEvents())
+	for ti, t := range l.Traces {
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, e := range t {
+			if !seen[e] {
+				seen[e] = true
+				ix.byEvent[e] = append(ix.byEvent[e], int32(ti))
+			}
+		}
+	}
+	return ix
+}
+
+// Log returns the indexed log.
+func (ix *TraceIndex) Log() *event.Log { return ix.log }
+
+// Traces returns the sorted trace indices containing event v. The returned
+// slice must not be modified.
+func (ix *TraceIndex) Traces(v event.ID) []int32 {
+	if int(v) >= len(ix.byEvent) {
+		return nil
+	}
+	return ix.byEvent[v]
+}
+
+// Candidates returns the sorted trace indices containing every given event —
+// the ∩ It(v) of Section 3.2.3. Events outside the alphabet yield nil.
+func (ix *TraceIndex) Candidates(events []event.ID) []int32 {
+	if len(events) == 0 {
+		return nil
+	}
+	// Intersect starting from the rarest list to keep the work proportional
+	// to the smallest posting list.
+	lists := make([][]int32, len(events))
+	for i, v := range events {
+		lists[i] = ix.Traces(v)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = intersect32(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	// acc may alias lists[0]; copy so callers can hold it safely.
+	out := make([]int32, len(acc))
+	copy(out, acc)
+	return out
+}
+
+func intersect32(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Frequency computes f(p) over the indexed log, scanning only the traces
+// that contain all of p's events.
+func (ix *TraceIndex) Frequency(p *Pattern) float64 {
+	total := ix.log.NumTraces()
+	if total == 0 {
+		return 0
+	}
+	n := 0
+	for _, ti := range ix.Candidates(p.Events()) {
+		if p.MatchesTrace(ix.log.Traces[ti]) {
+			n++
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// FrequencyCache memoizes pattern frequencies keyed by the pattern's order
+// signature, on top of a TraceIndex. The same mapped pattern is often
+// re-evaluated many times during A* search; caching makes that cheap.
+type FrequencyCache struct {
+	ix    *TraceIndex
+	cache map[string]float64
+	hits  int
+	miss  int
+}
+
+// NewFrequencyCache wraps a trace index with a frequency memo table.
+func NewFrequencyCache(ix *TraceIndex) *FrequencyCache {
+	return &FrequencyCache{ix: ix, cache: make(map[string]float64)}
+}
+
+// Frequency returns f(p), consulting the cache first.
+func (c *FrequencyCache) Frequency(p *Pattern) float64 {
+	key := signature(p)
+	if f, ok := c.cache[key]; ok {
+		c.hits++
+		return f
+	}
+	c.miss++
+	f := c.ix.Frequency(p)
+	c.cache[key] = f
+	return f
+}
+
+// Stats reports cache hits and misses.
+func (c *FrequencyCache) Stats() (hits, misses int) { return c.hits, c.miss }
+
+// signature produces a canonical string for the pattern structure + events,
+// suitable as a cache key.
+func signature(p *Pattern) string {
+	var b []byte
+	var walk func(p *Pattern)
+	walk = func(p *Pattern) {
+		switch p.op {
+		case OpEvent:
+			b = appendInt(b, int(p.event))
+		case OpSeq:
+			b = append(b, 'S', '(')
+			for _, s := range p.subs {
+				walk(s)
+				b = append(b, ',')
+			}
+			b = append(b, ')')
+		default:
+			b = append(b, 'A', '(')
+			for _, s := range p.subs {
+				walk(s)
+				b = append(b, ',')
+			}
+			b = append(b, ')')
+		}
+	}
+	walk(p)
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}

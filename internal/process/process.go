@@ -1,0 +1,313 @@
+// Package process provides a composable business-process model and a
+// deterministic trace simulator — the substrate beneath the evaluation
+// workload generators, exposed on its own so downstream users can build
+// custom heterogeneous-log benchmarks.
+//
+// A model is a tree of nodes: activities, sequences, parallel blocks
+// (weighted interleavings of their branches, kept contiguous per branch —
+// the paper's AND composite events), exclusive choices, optional steps and
+// bounded loops. Simulation draws traces from the model; two departments of
+// the paper's setting are two simulations of the same model with different
+// Params (order-statistic weights, jitter) and independently encoded names.
+package process
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eventmatch/internal/event"
+)
+
+// Node is a process-model fragment that can emit its events into a trace.
+type Node interface {
+	// emit appends the node's events for one case to the trace.
+	emit(rng *rand.Rand, p Params, t []string) []string
+	// activities appends the names of all activities in the subtree.
+	activities(acc []string) []string
+	// validate reports structural errors (duplicate activities are checked
+	// at the model level).
+	validate() error
+}
+
+// Params are the per-department execution knobs.
+type Params struct {
+	// SwapNoise is the probability of one adjacent logging swap per trace.
+	SwapNoise float64
+	// OrderBias skews Parallel branch ordering: 0 = uniform; positive values
+	// favour the declared branch order (each next branch is drawn with
+	// weight (1+OrderBias)^(remaining position)). Negative values invert.
+	OrderBias float64
+}
+
+// Activity is a leaf step.
+type Activity string
+
+func (a Activity) emit(_ *rand.Rand, _ Params, t []string) []string { return append(t, string(a)) }
+func (a Activity) activities(acc []string) []string                 { return append(acc, string(a)) }
+func (a Activity) validate() error {
+	if a == "" {
+		return fmt.Errorf("process: empty activity name")
+	}
+	return nil
+}
+
+// Seq runs its children in order.
+type Seq []Node
+
+func (s Seq) emit(rng *rand.Rand, p Params, t []string) []string {
+	for _, n := range s {
+		t = n.emit(rng, p, t)
+	}
+	return t
+}
+
+func (s Seq) activities(acc []string) []string {
+	for _, n := range s {
+		acc = n.activities(acc)
+	}
+	return acc
+}
+
+func (s Seq) validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("process: empty Seq")
+	}
+	for _, n := range s {
+		if err := n.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parallel runs its branches in a random order, each branch contiguous —
+// exactly the paper's AND composite event. Branch order is weighted by
+// Params.OrderBias.
+type Parallel []Node
+
+func (pl Parallel) emit(rng *rand.Rand, p Params, t []string) []string {
+	order := biasedPerm(rng, len(pl), p.OrderBias)
+	for _, i := range order {
+		t = pl[i].emit(rng, p, t)
+	}
+	return t
+}
+
+func (pl Parallel) activities(acc []string) []string {
+	for _, n := range pl {
+		acc = n.activities(acc)
+	}
+	return acc
+}
+
+func (pl Parallel) validate() error {
+	if len(pl) < 2 {
+		return fmt.Errorf("process: Parallel needs at least two branches")
+	}
+	for _, n := range pl {
+		if err := n.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// biasedPerm permutes 0..n-1; bias 0 is uniform, positive bias favours
+// earlier (declared-first) branches, negative bias favours later ones. The
+// next element is drawn with weight scale^(candidates remaining after it),
+// where scale = max(1+bias, 0.05).
+func biasedPerm(rng *rand.Rand, n int, bias float64) []int {
+	cands := make([]int, n)
+	for i := range cands {
+		cands[i] = i
+	}
+	if bias == 0 {
+		rng.Shuffle(n, func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		return cands
+	}
+	scale := 1 + bias
+	if scale < 0.05 {
+		scale = 0.05
+	}
+	out := make([]int, 0, n)
+	weights := make([]float64, n)
+	for len(cands) > 1 {
+		total := 0.0
+		w := 1.0
+		// cands preserves declaration order; weight earlier entries higher.
+		for ci := len(cands) - 1; ci >= 0; ci-- {
+			weights[ci] = w
+			total += w
+			w *= scale
+		}
+		r := rng.Float64() * total
+		pick := len(cands) - 1
+		for ci := range cands {
+			r -= weights[ci]
+			if r <= 0 {
+				pick = ci
+				break
+			}
+		}
+		out = append(out, cands[pick])
+		cands = append(cands[:pick], cands[pick+1:]...)
+	}
+	return append(out, cands[0])
+}
+
+// Choice picks exactly one branch by weight.
+type Choice []Branch
+
+// Branch is one weighted alternative of a Choice.
+type Branch struct {
+	Weight float64
+	Node   Node
+}
+
+func (c Choice) emit(rng *rand.Rand, p Params, t []string) []string {
+	total := 0.0
+	for _, b := range c {
+		total += b.Weight
+	}
+	r := rng.Float64() * total
+	for _, b := range c {
+		r -= b.Weight
+		if r <= 0 {
+			return b.Node.emit(rng, p, t)
+		}
+	}
+	return c[len(c)-1].Node.emit(rng, p, t)
+}
+
+func (c Choice) activities(acc []string) []string {
+	for _, b := range c {
+		acc = b.Node.activities(acc)
+	}
+	return acc
+}
+
+func (c Choice) validate() error {
+	if len(c) < 2 {
+		return fmt.Errorf("process: Choice needs at least two branches")
+	}
+	for _, b := range c {
+		if b.Weight <= 0 {
+			return fmt.Errorf("process: Choice branch weight %v must be positive", b.Weight)
+		}
+		if err := b.Node.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Optional runs its child with probability P.
+type Optional struct {
+	P    float64
+	Node Node
+}
+
+func (o Optional) emit(rng *rand.Rand, p Params, t []string) []string {
+	if rng.Float64() < o.P {
+		return o.Node.emit(rng, p, t)
+	}
+	return t
+}
+
+func (o Optional) activities(acc []string) []string { return o.Node.activities(acc) }
+
+func (o Optional) validate() error {
+	if o.P < 0 || o.P > 1 {
+		return fmt.Errorf("process: Optional probability %v outside [0,1]", o.P)
+	}
+	if o.Node == nil {
+		return fmt.Errorf("process: Optional with nil node")
+	}
+	return o.Node.validate()
+}
+
+// Loop runs its child once, then repeats it with probability Again per
+// round, at most MaxExtra extra rounds. Note that a loop re-emits its
+// activities, so traces may contain repeats — patterns still require
+// distinct events, but traces are unrestricted (§2.2).
+type Loop struct {
+	Again    float64
+	MaxExtra int
+	Node     Node
+}
+
+func (l Loop) emit(rng *rand.Rand, p Params, t []string) []string {
+	t = l.Node.emit(rng, p, t)
+	for extra := 0; extra < l.MaxExtra && rng.Float64() < l.Again; extra++ {
+		t = l.Node.emit(rng, p, t)
+	}
+	return t
+}
+
+func (l Loop) activities(acc []string) []string { return l.Node.activities(acc) }
+
+func (l Loop) validate() error {
+	if l.Again < 0 || l.Again > 1 {
+		return fmt.Errorf("process: Loop probability %v outside [0,1]", l.Again)
+	}
+	if l.MaxExtra < 0 {
+		return fmt.Errorf("process: Loop MaxExtra %d negative", l.MaxExtra)
+	}
+	if l.Node == nil {
+		return fmt.Errorf("process: Loop with nil node")
+	}
+	return l.Node.validate()
+}
+
+// Model is a validated process model.
+type Model struct {
+	root  Node
+	names []string
+}
+
+// NewModel validates the node tree and returns a model. Activity names must
+// be unique across the tree (each activity is one event type).
+func NewModel(root Node) (*Model, error) {
+	if root == nil {
+		return nil, fmt.Errorf("process: nil root")
+	}
+	if err := root.validate(); err != nil {
+		return nil, err
+	}
+	names := root.activities(nil)
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("process: duplicate activity %q", n)
+		}
+		seen[n] = true
+	}
+	return &Model{root: root, names: names}, nil
+}
+
+// Activities returns the model's activity names in declaration order.
+func (m *Model) Activities() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// Simulate draws n traces into a fresh log. The alphabet is pre-interned in
+// declaration order so two simulations of the same model share event ids.
+func (m *Model) Simulate(seed int64, n int, p Params) *event.Log {
+	rng := rand.New(rand.NewSource(seed))
+	l := event.NewLog()
+	for _, name := range m.names {
+		l.Alphabet.Intern(name)
+	}
+	var scratch []string
+	for i := 0; i < n; i++ {
+		scratch = m.root.emit(rng, p, scratch[:0])
+		if p.SwapNoise > 0 && len(scratch) > 2 && rng.Float64() < p.SwapNoise {
+			k := 1 + rng.Intn(len(scratch)-2)
+			scratch[k], scratch[k+1] = scratch[k+1], scratch[k]
+		}
+		l.AppendNames(scratch...)
+	}
+	return l
+}

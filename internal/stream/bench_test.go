@@ -1,0 +1,31 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/pattern"
+)
+
+func BenchmarkObserve(b *testing.B) {
+	a := event.NewAlphabet("A", "B", "C", "D", "E", "F")
+	ps := []*pattern.Pattern{
+		pattern.MustSeq(pattern.Single(0), pattern.Single(1)),
+		pattern.MustSeq(pattern.Single(0), pattern.MustAnd(pattern.Single(1), pattern.Single(2)), pattern.Single(3)),
+	}
+	_ = a
+	d, err := NewDetector(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	events := make([]event.ID, 4096)
+	for i := range events {
+		events[i] = event.ID(rng.Intn(6))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(events[i%len(events)])
+	}
+}
