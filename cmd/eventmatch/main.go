@@ -17,16 +17,36 @@
 //	-patterns   file of newline-separated complex patterns over LOG1's events,
 //	            e.g. "SEQ(Receive,AND(Payment,Check),Ship)"
 //	-timeout    search budget (default 60s; 0 = unlimited)
+//	-max-frontier  beam-prune the exact search's frontier to this many nodes
+//	            (0 = unbounded)
+//	-lenient    skip malformed log rows/events instead of failing; skips are
+//	            reported on stderr
 //	-stats      print search statistics
 //	-dot FILE   write a Graphviz rendering of both dependency graphs with
 //	            the discovered correspondence to FILE
+//
+// The search is anytime: on timeout, frontier pruning, or an interrupt
+// (SIGINT/SIGTERM) the best complete mapping found so far is still printed,
+// marked truncated in the -stats line.
+//
+// Exit codes:
+//
+//	0  success, result proven under the requested semantics
+//	1  error (unreadable input, bad flags value, internal failure)
+//	2  usage error
+//	3  truncated result: a budget, beam bound, or interrupt cut the search
+//	   short (a best-so-far mapping was still printed), or a lenient read
+//	   skipped malformed input
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"eventmatch"
@@ -35,12 +55,39 @@ import (
 	"eventmatch/internal/viz"
 )
 
+// Exit codes; see the command comment.
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitUsage     = 2
+	exitTruncated = 3
+)
+
+// Guards applied to log ingestion in lenient mode.
+const (
+	lenientMaxTraceLen = 1_000_000
+	lenientMaxLogBytes = 1 << 30
+)
+
+type cliOptions struct {
+	algorithm    string
+	patternsFile string
+	timeout      time.Duration
+	maxFrontier  int
+	lenient      bool
+	stats        bool
+	dotFile      string
+}
+
 func main() {
-	algorithm := flag.String("algorithm", "heuristic-advanced", "matching algorithm")
-	patternsFile := flag.String("patterns", "", "file of complex patterns over LOG1's events")
-	timeout := flag.Duration("timeout", 60*time.Second, "search budget (0 = unlimited)")
-	stats := flag.Bool("stats", false, "print search statistics")
-	dotFile := flag.String("dot", "", "write a Graphviz mapping rendering to this file")
+	var o cliOptions
+	flag.StringVar(&o.algorithm, "algorithm", "heuristic-advanced", "matching algorithm")
+	flag.StringVar(&o.patternsFile, "patterns", "", "file of complex patterns over LOG1's events")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "search budget (0 = unlimited)")
+	flag.IntVar(&o.maxFrontier, "max-frontier", 0, "beam-prune the exact frontier to this many nodes (0 = unbounded)")
+	flag.BoolVar(&o.lenient, "lenient", false, "skip malformed log rows/events instead of failing")
+	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
+	flag.StringVar(&o.dotFile, "dot", "", "write a Graphviz mapping rendering to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: eventmatch [flags] LOG1 LOG2\n")
 		flag.PrintDefaults()
@@ -48,51 +95,78 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
-	if err := run(flag.Arg(0), flag.Arg(1), *algorithm, *patternsFile, *timeout, *stats, *dotFile); err != nil {
+	// An interrupt cancels the search; the anytime engine then returns its
+	// best mapping so far, which is still printed before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	truncated, err := run(ctx, flag.Arg(0), flag.Arg(1), o)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "eventmatch:", err)
-		os.Exit(1)
+	}
+	os.Exit(exitCode(truncated, err))
+}
+
+// exitCode maps a run outcome to the documented exit codes.
+func exitCode(truncated bool, err error) int {
+	switch {
+	case err != nil:
+		return exitError
+	case truncated:
+		return exitTruncated
+	default:
+		return exitOK
 	}
 }
 
-func run(path1, path2, algorithm, patternsFile string, timeout time.Duration, stats bool, dotFile string) error {
-	algo, err := eventmatch.ParseAlgorithm(algorithm)
+// run executes one match. truncated reports that the printed result is
+// best-so-far (budget, beam bound, or interrupt) or that a lenient read
+// skipped input.
+func run(ctx context.Context, path1, path2 string, o cliOptions) (truncated bool, err error) {
+	algo, err := eventmatch.ParseAlgorithm(o.algorithm)
 	if err != nil {
-		return err
+		return false, err
 	}
-	l1, err := eventmatch.ReadLogFile(path1)
+	l1, skipped1, err := readLog(path1, o)
 	if err != nil {
-		return err
+		return false, err
 	}
-	l2, err := eventmatch.ReadLogFile(path2)
+	l2, skipped2, err := readLog(path2, o)
 	if err != nil {
-		return err
+		return false, err
 	}
+	truncated = skipped1 || skipped2
 
 	var patterns []string
-	if patternsFile != "" {
-		data, err := os.ReadFile(patternsFile)
+	if o.patternsFile != "" {
+		data, err := os.ReadFile(o.patternsFile)
 		if err != nil {
-			return err
+			return false, err
 		}
 		exprs, err := pattern.ParseAll(string(data))
 		if err != nil {
-			return fmt.Errorf("%s: %w", patternsFile, err)
+			return false, fmt.Errorf("%s: %w", o.patternsFile, err)
 		}
 		for _, e := range exprs {
 			patterns = append(patterns, e.String())
 		}
 	}
 
-	res, err := eventmatch.Match(l1, l2, eventmatch.Config{
+	res, err := eventmatch.MatchContext(ctx, l1, l2, eventmatch.Config{
 		Algorithm:   algo,
 		Patterns:    patterns,
-		MaxDuration: timeout,
+		MaxDuration: o.timeout,
+		MaxFrontier: o.maxFrontier,
 	})
 	if err != nil {
-		return err
+		return false, err
+	}
+	if res.Stats.Truncated {
+		truncated = true
+		fmt.Fprintf(os.Stderr, "eventmatch: search stopped early (%s); printing best mapping found\n", res.Stats.StopReason)
 	}
 
 	names := make([]string, 0, len(res.Pairs))
@@ -103,15 +177,41 @@ func run(path1, path2, algorithm, patternsFile string, timeout time.Duration, st
 	for _, n := range names {
 		fmt.Printf("%s -> %s\n", n, res.Pairs[n])
 	}
-	if stats {
-		fmt.Printf("# algorithm=%s score=%.4f elapsed=%v expanded=%d generated=%d\n",
-			algo, res.Score, res.Stats.Elapsed, res.Stats.Expanded, res.Stats.Generated)
+	if o.stats {
+		fmt.Printf("# algorithm=%s score=%.4f elapsed=%v expanded=%d generated=%d truncated=%v stop=%s\n",
+			algo, res.Score, res.Stats.Elapsed, res.Stats.Expanded, res.Stats.Generated,
+			res.Stats.Truncated, res.Stats.StopReason)
 	}
-	if dotFile != "" {
+	if o.dotFile != "" {
 		dot := viz.MappingDot(depgraph.Build(l1), depgraph.Build(l2), res.Mapping)
-		if err := os.WriteFile(dotFile, []byte(dot), 0o644); err != nil {
-			return err
+		if err := os.WriteFile(o.dotFile, []byte(dot), 0o644); err != nil {
+			return truncated, err
 		}
 	}
-	return nil
+	return truncated, nil
+}
+
+// readLog loads one log, strictly by default, leniently (with skips reported
+// on stderr) under -lenient. skipped reports whether anything was dropped.
+func readLog(path string, o cliOptions) (l *eventmatch.Log, skipped bool, err error) {
+	if !o.lenient {
+		l, err = eventmatch.ReadLogFile(path)
+		return l, false, err
+	}
+	l, rep, err := eventmatch.ReadLogFileReport(path, eventmatch.ReadOptions{
+		Lenient:     true,
+		MaxTraceLen: lenientMaxTraceLen,
+		MaxLogBytes: lenientMaxLogBytes,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if rep.ErrorCount > 0 {
+		fmt.Fprintf(os.Stderr, "eventmatch: %s: skipped %d rows, %d traces (%d problems)\n",
+			path, rep.SkippedRows, rep.SkippedTraces, rep.ErrorCount)
+		for _, pe := range rep.Errors {
+			fmt.Fprintf(os.Stderr, "eventmatch: %s: %s\n", path, pe.Error())
+		}
+	}
+	return l, rep.ErrorCount > 0, nil
 }

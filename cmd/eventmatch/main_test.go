@@ -1,12 +1,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 )
+
+// opts builds cliOptions with the historical defaults used by the tests.
+func opts(algorithm, patternsFile string, stats bool, dotFile string) cliOptions {
+	return cliOptions{
+		algorithm:    algorithm,
+		patternsFile: patternsFile,
+		timeout:      time.Minute,
+		stats:        stats,
+		dotFile:      dotFile,
+	}
+}
 
 func writeDemoLogs(t *testing.T) (string, string, string) {
 	t.Helper()
@@ -29,15 +42,19 @@ func writeDemoLogs(t *testing.T) (string, string, string) {
 
 func TestRunMatchesLogs(t *testing.T) {
 	l1, l2, pats := writeDemoLogs(t)
-	if err := run(l1, l2, "heuristic-advanced", pats, time.Minute, true, ""); err != nil {
+	truncated, err := run(context.Background(), l1, l2, opts("heuristic-advanced", pats, true, ""))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean run must not report truncation")
 	}
 }
 
 func TestRunWritesDot(t *testing.T) {
 	l1, l2, _ := writeDemoLogs(t)
 	dot := filepath.Join(t.TempDir(), "out.dot")
-	if err := run(l1, l2, "vertex", "", time.Minute, false, dot); err != nil {
+	if _, err := run(context.Background(), l1, l2, opts("vertex", "", false, dot)); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -51,20 +68,21 @@ func TestRunWritesDot(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	l1, l2, _ := writeDemoLogs(t)
-	if err := run(l1, l2, "no-such-algorithm", "", time.Minute, false, ""); err == nil {
+	ctx := context.Background()
+	if _, err := run(ctx, l1, l2, opts("no-such-algorithm", "", false, "")); err == nil {
 		t.Error("bad algorithm must fail")
 	}
-	if err := run("/nonexistent", l2, "vertex", "", time.Minute, false, ""); err == nil {
+	if _, err := run(ctx, "/nonexistent", l2, opts("vertex", "", false, "")); err == nil {
 		t.Error("missing log must fail")
 	}
-	if err := run(l1, l2, "vertex", "/nonexistent-patterns", time.Minute, false, ""); err == nil {
+	if _, err := run(ctx, l1, l2, opts("vertex", "/nonexistent-patterns", false, "")); err == nil {
 		t.Error("missing pattern file must fail")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.txt")
 	if err := os.WriteFile(bad, []byte("SEQ(\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(l1, l2, "heuristic-advanced", bad, time.Minute, false, ""); err == nil {
+	if _, err := run(ctx, l1, l2, opts("heuristic-advanced", bad, false, "")); err == nil {
 		t.Error("malformed pattern file must fail")
 	}
 }
@@ -75,8 +93,79 @@ func TestRunAllAlgorithms(t *testing.T) {
 		"exact", "exact-simple", "heuristic-simple", "heuristic-advanced",
 		"vertex", "vertex-edge", "iterative", "entropy",
 	} {
-		if err := run(l1, l2, algo, pats, time.Minute, false, ""); err != nil {
+		if _, err := run(context.Background(), l1, l2, opts(algo, pats, false, "")); err != nil {
 			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunCanceledContextStillPrintsBestSoFar(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // simulates SIGINT before the search starts
+	truncated, err := run(ctx, l1, l2, opts("exact", pats, true, ""))
+	if err != nil {
+		t.Fatalf("canceled run must still succeed with best-so-far: %v", err)
+	}
+	if !truncated {
+		t.Error("canceled run must report truncation")
+	}
+}
+
+func TestRunTimeoutReportsTruncation(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	o := opts("exact", pats, false, "")
+	o.timeout = time.Nanosecond
+	truncated, err := run(context.Background(), l1, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("nanosecond timeout must report truncation")
+	}
+}
+
+func TestRunLenientSkipsCorruptRows(t *testing.T) {
+	l1, l2, _ := writeDemoLogs(t)
+	// Corrupt one row of the CSV log.
+	data, err := os.ReadFile(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(data), "c2,z\n", "c2\n", 1)
+	if err := os.WriteFile(l2, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Strict mode fails outright.
+	if _, err := run(context.Background(), l1, l2, opts("vertex", "", false, "")); err == nil {
+		t.Error("strict run on corrupt log must fail")
+	}
+	// Lenient mode succeeds but reports the skip via the truncated flag.
+	o := opts("vertex", "", false, "")
+	o.lenient = true
+	truncated, err := run(context.Background(), l1, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("lenient run with skips must report truncation")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		truncated bool
+		err       error
+		want      int
+	}{
+		{false, nil, exitOK},
+		{true, nil, exitTruncated},
+		{false, errors.New("x"), exitError},
+		{true, errors.New("x"), exitError}, // an error outranks truncation
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.truncated, tc.err); got != tc.want {
+			t.Errorf("exitCode(%v, %v) = %d, want %d", tc.truncated, tc.err, got, tc.want)
 		}
 	}
 }

@@ -25,6 +25,7 @@
 package eventmatch
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -55,10 +56,16 @@ type (
 	PatternExpr = pattern.Expr
 	// Mapping is an injective event mapping, indexed by L1 event id.
 	Mapping = match.Mapping
-	// Stats reports search effort.
+	// Stats reports search effort. Stats.Truncated marks an anytime
+	// (best-so-far) result; Stats.StopReason says why the run stopped.
 	Stats = match.Stats
 	// Quality holds precision / recall / F-measure against a ground truth.
 	Quality = metrics.Quality
+	// ReadOptions control fault tolerance and resource guards when reading
+	// logs (lenient mode, max trace length, max input bytes).
+	ReadOptions = logio.ReadOptions
+	// ReadReport summarizes what a lenient read skipped.
+	ReadReport = logio.ReadReport
 )
 
 // Algorithm selects the matching strategy.
@@ -129,9 +136,22 @@ type Config struct {
 	// "SEQ(A,AND(B,C),D)". They are ignored by the baseline algorithms.
 	Patterns []string
 
-	// MaxDuration caps the search; zero means no limit. Exceeding it
-	// returns match.ErrBudgetExceeded.
+	// MaxDuration caps the search wall-clock time; zero means no limit.
+	// When the cap is hit the search returns its best complete mapping so
+	// far with Stats.Truncated set — not an error.
 	MaxDuration time.Duration
+
+	// MaxGenerated caps how many candidate mappings the search may
+	// generate; zero means no limit. Like MaxDuration, hitting the cap
+	// truncates rather than fails.
+	MaxGenerated int
+
+	// MaxFrontier bounds the A* frontier (beam pruning): when the open
+	// list exceeds the cap the worst nodes are discarded. Zero means no
+	// bound. A pruned search still terminates with a complete mapping but
+	// cannot prove optimality, so its result is marked truncated. Only the
+	// exact algorithms use it.
+	MaxFrontier int
 }
 
 // Result is a completed matching.
@@ -146,20 +166,42 @@ type Result struct {
 	Stats Stats
 }
 
-// Match finds an event mapping from l1's alphabet into l2's.
+// Match finds an event mapping from l1's alphabet into l2's. See
+// MatchContext for the anytime/cancellation semantics.
 func Match(l1, l2 *Log, cfg Config) (*Result, error) {
+	return MatchContext(context.Background(), l1, l2, cfg)
+}
+
+// MatchContext is Match under a caller context. The search is anytime:
+// on context cancellation or an exceeded budget (MaxDuration, MaxGenerated,
+// MaxFrontier) it returns the best complete mapping found so far with
+// Stats.Truncated set and Stats.StopReason naming the cause, rather than an
+// error.
+func MatchContext(ctx context.Context, l1, l2 *Log, cfg Config) (*Result, error) {
 	if l1 == nil || l2 == nil {
 		return nil, fmt.Errorf("eventmatch: nil log")
 	}
 	switch cfg.Algorithm {
-	case AlgoVertex:
-		res, err := baseline.Vertex(l1, l2)
-		return baselineResult(l1, l2, res, err)
-	case AlgoIterative:
-		res, err := baseline.Iterative(l1, l2, baseline.IterativeOptions{})
-		return baselineResult(l1, l2, res, err)
-	case AlgoEntropy:
-		res, err := baseline.Entropy(l1, l2)
+	case AlgoVertex, AlgoIterative, AlgoEntropy:
+		// The baselines take their duration budget through the context.
+		bctx := ctx
+		if cfg.MaxDuration > 0 {
+			var cancel context.CancelFunc
+			bctx, cancel = context.WithTimeout(ctx, cfg.MaxDuration)
+			defer cancel()
+		}
+		var (
+			res baseline.Result
+			err error
+		)
+		switch cfg.Algorithm {
+		case AlgoVertex:
+			res, err = baseline.VertexContext(bctx, l1, l2)
+		case AlgoIterative:
+			res, err = baseline.IterativeContext(bctx, l1, l2, baseline.IterativeOptions{})
+		case AlgoEntropy:
+			res, err = baseline.EntropyContext(bctx, l1, l2)
+		}
 		return baselineResult(l1, l2, res, err)
 	}
 
@@ -179,23 +221,28 @@ func Match(l1, l2 *Log, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := match.Options{Bound: match.BoundSharp, MaxDuration: cfg.MaxDuration}
+	opts := match.Options{
+		Bound:        match.BoundSharp,
+		MaxDuration:  cfg.MaxDuration,
+		MaxGenerated: cfg.MaxGenerated,
+		MaxFrontier:  cfg.MaxFrontier,
+	}
 	var (
 		m  Mapping
 		st Stats
 	)
 	switch cfg.Algorithm {
 	case AlgoExact, AlgoVertexEdge:
-		m, st, err = pr.AStar(opts)
+		m, st, err = pr.AStarContext(ctx, opts)
 	case AlgoExactSimpleBound:
 		opts.Bound = match.BoundSimple
-		m, st, err = pr.AStar(opts)
+		m, st, err = pr.AStarContext(ctx, opts)
 	case AlgoHeuristicSimple:
 		opts.Bound = match.BoundSimple
-		m, st, err = pr.GreedyExpand(opts)
+		m, st, err = pr.GreedyExpandContext(ctx, opts)
 	case AlgoHeuristicAdvanced:
 		opts.Bound = match.BoundSimple
-		m, st, err = pr.HeuristicAdvanced(opts)
+		m, st, err = pr.HeuristicAdvancedContext(ctx, opts)
 	default:
 		return nil, fmt.Errorf("eventmatch: unknown algorithm %v", cfg.Algorithm)
 	}
@@ -218,7 +265,12 @@ func baselineResult(l1, l2 *Log, res baseline.Result, err error) (*Result, error
 		Mapping: res.Mapping,
 		Pairs:   namePairs(l1, l2, res.Mapping),
 		Score:   res.Score,
-		Stats:   Stats{Elapsed: res.Elapsed, Score: res.Score},
+		Stats: Stats{
+			Elapsed:    res.Elapsed,
+			Score:      res.Score,
+			Truncated:  res.Truncated,
+			StopReason: res.StopReason,
+		},
 	}, nil
 }
 
@@ -269,6 +321,13 @@ func LogFromStrings(traces ...string) *Log { return event.FromStrings(traces...)
 // ReadLog parses a log from r in the named format ("log", "csv" or "xes").
 func ReadLog(r io.Reader, format string) (*Log, error) { return logio.Read(r, format) }
 
+// ReadLogWithReport parses a log from r in the named format under the given
+// fault-tolerance and resource options; the report records what a lenient
+// read skipped.
+func ReadLogWithReport(r io.Reader, format string, opts ReadOptions) (*Log, ReadReport, error) {
+	return logio.ReadWithReport(r, format, opts)
+}
+
 // WriteLog serializes a log in the named format.
 func WriteLog(w io.Writer, l *Log, format string) error { return logio.Write(w, l, format) }
 
@@ -281,6 +340,17 @@ func ReadLogFile(path string) (*Log, error) {
 	}
 	defer f.Close()
 	return logio.Read(f, logio.DetectFormat(path))
+}
+
+// ReadLogFileReport is ReadLogFile under the given fault-tolerance and
+// resource options.
+func ReadLogFileReport(path string, opts ReadOptions) (*Log, ReadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, ReadReport{}, fmt.Errorf("eventmatch: %w", err)
+	}
+	defer f.Close()
+	return logio.ReadWithReport(f, logio.DetectFormat(path), opts)
 }
 
 // TranslateLog rewrites l2 into l1's vocabulary using a discovered mapping —
@@ -343,6 +413,13 @@ type SetResult struct {
 // fine-grained L2 activities). Only the pattern-based algorithms support
 // the extension.
 func MatchOneToN(l1, l2 *Log, cfg Config) (*SetResult, error) {
+	return MatchOneToNContext(context.Background(), l1, l2, cfg)
+}
+
+// MatchOneToNContext is MatchOneToN under a caller context; both the base
+// match and the extension stop early and return their best-so-far result
+// (Stats.Truncated) on cancellation or budget exhaustion.
+func MatchOneToNContext(ctx context.Context, l1, l2 *Log, cfg Config) (*SetResult, error) {
 	if l1 == nil || l2 == nil {
 		return nil, fmt.Errorf("eventmatch: nil log")
 	}
@@ -350,7 +427,7 @@ func MatchOneToN(l1, l2 *Log, cfg Config) (*SetResult, error) {
 	case AlgoVertex, AlgoIterative, AlgoEntropy:
 		return nil, fmt.Errorf("eventmatch: %v does not support 1-to-n extension", cfg.Algorithm)
 	}
-	base, err := Match(l1, l2, cfg)
+	base, err := MatchContext(ctx, l1, l2, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -369,9 +446,16 @@ func MatchOneToN(l1, l2 *Log, cfg Config) (*SetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sm, st, err := pr.ExtendOneToN(base.Mapping, match.Options{MaxDuration: cfg.MaxDuration})
+	sm, st, err := pr.ExtendOneToNContext(ctx, base.Mapping, match.Options{
+		MaxDuration:  cfg.MaxDuration,
+		MaxGenerated: cfg.MaxGenerated,
+	})
 	if err != nil {
 		return nil, err
+	}
+	if base.Stats.Truncated && !st.Truncated {
+		st.Truncated = true
+		st.StopReason = base.Stats.StopReason
 	}
 	sets := make(map[string][]string)
 	for v1, set := range sm {

@@ -2,11 +2,14 @@ package eventmatch
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"eventmatch/internal/gen"
 )
 
 // demoLogs returns two small renamed logs with known correspondence.
@@ -93,9 +96,15 @@ func TestMatchErrors(t *testing.T) {
 
 func TestMatchBudget(t *testing.T) {
 	l1, l2 := demoLogs()
-	_, err := Match(l1, l2, Config{Algorithm: AlgoExact, MaxDuration: time.Nanosecond})
-	if err == nil {
-		t.Error("nanosecond budget should exceed")
+	res, err := Match(l1, l2, Config{Algorithm: AlgoExact, MaxDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("budgeted match must return best-so-far, got error: %v", err)
+	}
+	if !res.Stats.Truncated {
+		t.Error("nanosecond budget must truncate")
+	}
+	if !res.Mapping.Complete() {
+		t.Errorf("truncated result must still be a complete mapping: %v", res.Mapping)
 	}
 }
 
@@ -293,5 +302,126 @@ func TestMatchOneToN(t *testing.T) {
 	}
 	if _, err := MatchOneToN(nil, l2, Config{}); err == nil {
 		t.Error("nil log must fail")
+	}
+}
+
+// Acceptance: the exact matcher under a 50ms wall-clock budget on a
+// workload its search cannot close (30 events) returns a complete
+// best-so-far mapping marked truncated, instead of failing.
+func TestMatchExactAnytimeUnderBudget(t *testing.T) {
+	g := gen.LargeSynthetic(7, 3, 300)
+	res, err := Match(g.L1, g.L2, Config{
+		Algorithm:   AlgoExact,
+		Patterns:    g.Patterns,
+		MaxDuration: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("budgeted exact match failed: %v", err)
+	}
+	if res == nil || res.Mapping == nil {
+		t.Fatal("budgeted exact match returned no mapping")
+	}
+	if !res.Mapping.Complete() {
+		t.Errorf("best-so-far mapping incomplete: %v", res.Mapping)
+	}
+	if !res.Stats.Truncated {
+		// 50ms cannot close a 30-event exact search.
+		t.Errorf("expected truncation, stats = %+v", res.Stats)
+	}
+	if res.Stats.StopReason == "" {
+		t.Error("truncated result must name its stop reason")
+	}
+}
+
+// On the paper's 11-event real-like workload the exact search with the sharp
+// bound closes in well under 50ms, so a budgeted run there must finish
+// untruncated and optimal — the budget only bites when genuinely needed.
+func TestMatchExactRealLikeClosesUnderBudget(t *testing.T) {
+	g := gen.RealLike(7, 800)
+	res, err := Match(g.L1, g.L2, Config{
+		Algorithm:   AlgoExact,
+		Patterns:    g.Patterns,
+		MaxDuration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Truncated {
+		t.Errorf("real-like exact search should close within budget: %+v", res.Stats)
+	}
+	if !res.Mapping.Complete() {
+		t.Errorf("mapping incomplete: %v", res.Mapping)
+	}
+}
+
+// Acceptance: a canceled context stops any algorithm promptly with a
+// best-so-far result.
+func TestMatchContextCanceledStopsQuickly(t *testing.T) {
+	g := gen.RealLike(7, 800)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{
+		AlgoExact, AlgoHeuristicSimple, AlgoHeuristicAdvanced,
+		AlgoVertex, AlgoIterative, AlgoEntropy,
+	} {
+		start := time.Now()
+		res, err := MatchContext(ctx, g.L1, g.L2, Config{Algorithm: algo, Patterns: g.Patterns})
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Errorf("%v: canceled match errored: %v", algo, err)
+			continue
+		}
+		if !res.Stats.Truncated {
+			t.Errorf("%v: canceled match not marked truncated: %+v", algo, res.Stats)
+		}
+		if elapsed > time.Second {
+			t.Errorf("%v: canceled match ran %v", algo, elapsed)
+		}
+		if res.Mapping == nil {
+			t.Errorf("%v: canceled match returned no mapping", algo)
+		}
+	}
+}
+
+func TestMatchMaxGeneratedTruncates(t *testing.T) {
+	l1, l2 := demoLogs()
+	res, err := Match(l1, l2, Config{Algorithm: AlgoExact, MaxGenerated: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated || res.Stats.StopReason == "" {
+		t.Errorf("stats = %+v, want truncation with reason", res.Stats)
+	}
+}
+
+func TestReadLogWithReportLenient(t *testing.T) {
+	in := "case,activity\nc1,A\nbadrow\nc1,B\n"
+	l, rep, err := ReadLogWithReport(strings.NewReader(in), "csv", ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTraces() != 1 || rep.SkippedRows != 1 {
+		t.Errorf("traces=%d skipped=%d", l.NumTraces(), rep.SkippedRows)
+	}
+}
+
+func TestReadLogFileReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.csv")
+	if err := os.WriteFile(path, []byte("c1,A\nc1\nc1,B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLogFileReport(path, ReadOptions{}); err == nil {
+		t.Error("strict read of corrupt file must fail")
+	}
+	l, rep, err := ReadLogFileReport(path, ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTraces() != 1 || rep.SkippedRows != 1 {
+		t.Errorf("traces=%d skipped=%d", l.NumTraces(), rep.SkippedRows)
+	}
+	if _, _, err := ReadLogFileReport(filepath.Join(dir, "missing.csv"), ReadOptions{}); err == nil {
+		t.Error("missing file must fail")
 	}
 }

@@ -17,6 +17,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -32,20 +34,67 @@ type Result struct {
 	Mapping match.Mapping
 	Score   float64 // the method's own objective value
 	Elapsed time.Duration
+	// Truncated is set when the run was cut short by context cancellation
+	// or deadline; the mapping is then the assignment rounded from the
+	// similarities computed so far. StopReason matches the match package's
+	// Stop* constants.
+	Truncated  bool
+	StopReason string
+}
+
+// ctxStop reports whether ctx has been cancelled, and why, using the match
+// package's stop-reason vocabulary.
+func ctxStop(ctx context.Context) (string, bool) {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return "", false
+	case errors.Is(err, context.DeadlineExceeded):
+		return match.StopDeadline, true
+	default:
+		return match.StopCanceled, true
+	}
 }
 
 // Vertex computes the optimal vertex-form matching via assignment.
 func Vertex(l1, l2 *event.Log) (Result, error) {
+	return VertexContext(context.Background(), l1, l2)
+}
+
+// VertexContext is Vertex under a caller context, polled once per weight-matrix
+// row. On cancellation the rows filled so far are rounded to a mapping and
+// returned with Truncated set.
+func VertexContext(ctx context.Context, l1, l2 *event.Log) (Result, error) {
 	start := time.Now()
 	g1, g2 := depgraph.Build(l1), depgraph.Build(l2)
 	w := make([][]float64, l1.NumEvents())
+	reason, halted := "", false
 	for v1 := range w {
 		w[v1] = make([]float64, l2.NumEvents())
+		if reason, halted = ctxStop(ctx); halted {
+			fillRemaining(w, v1)
+			break
+		}
 		for v2 := range w[v1] {
 			w[v1][v2] = match.Sim(g1.VertexFreq(event.ID(v1)), g2.VertexFreq(event.ID(v2)))
 		}
 	}
-	return assignResult(w, start)
+	return assignResult(w, start, reason)
+}
+
+// fillRemaining allocates the unfilled tail rows of a weight matrix so the
+// assignment solver still sees a rectangular input.
+func fillRemaining(w [][]float64, from int) {
+	cols := 0
+	if from < len(w) && w[from] != nil {
+		cols = len(w[from])
+	} else if from > 0 {
+		cols = len(w[from-1])
+	}
+	for v1 := from; v1 < len(w); v1++ {
+		if w[v1] == nil {
+			w[v1] = make([]float64, cols)
+		}
+	}
 }
 
 // IterativeOptions tune the similarity-propagation baseline.
@@ -74,6 +123,13 @@ func (o *IterativeOptions) defaults() {
 // out_k pairs each successor of v with its best-matching successor of u
 // (and symmetrically for predecessors).
 func Iterative(l1, l2 *event.Log, opts IterativeOptions) (Result, error) {
+	return IterativeContext(context.Background(), l1, l2, opts)
+}
+
+// IterativeContext is Iterative under a caller context, polled once per
+// propagation round. On cancellation the similarities of the last completed
+// round are rounded to a mapping and returned with Truncated set.
+func IterativeContext(ctx context.Context, l1, l2 *event.Log, opts IterativeOptions) (Result, error) {
 	opts.defaults()
 	if opts.Alpha < 0 || opts.Alpha >= 1 {
 		return Result{}, fmt.Errorf("baseline: alpha %v outside [0,1)", opts.Alpha)
@@ -93,7 +149,11 @@ func Iterative(l1, l2 *event.Log, opts IterativeOptions) (Result, error) {
 			cur[v1][v2] = sim0[v1][v2]
 		}
 	}
+	reason, halted := "", false
 	for round := 0; round < opts.MaxRounds; round++ {
+		if reason, halted = ctxStop(ctx); halted {
+			break
+		}
 		maxDelta := 0.0
 		for v1 := 0; v1 < n1; v1++ {
 			for v2 := 0; v2 < n2; v2++ {
@@ -111,7 +171,7 @@ func Iterative(l1, l2 *event.Log, opts IterativeOptions) (Result, error) {
 			break
 		}
 	}
-	return assignResult(cur, start)
+	return assignResult(cur, start, reason)
 }
 
 // neighbourSim averages, over v's neighbours, the best similarity to any of
@@ -139,17 +199,28 @@ func neighbourSim(nv, nu []event.ID, sim [][]float64) float64 {
 // Entropy computes the Entropy-only matching: events compared solely by the
 // binary entropy of whether they appear in a trace.
 func Entropy(l1, l2 *event.Log) (Result, error) {
+	return EntropyContext(context.Background(), l1, l2)
+}
+
+// EntropyContext is Entropy under a caller context, polled once per
+// weight-matrix row; see VertexContext for the cancellation semantics.
+func EntropyContext(ctx context.Context, l1, l2 *event.Log) (Result, error) {
 	start := time.Now()
 	h1 := appearanceEntropies(l1)
 	h2 := appearanceEntropies(l2)
 	w := make([][]float64, len(h1))
+	reason, halted := "", false
 	for v1 := range w {
 		w[v1] = make([]float64, len(h2))
+		if reason, halted = ctxStop(ctx); halted {
+			fillRemaining(w, v1)
+			break
+		}
 		for v2 := range w[v1] {
 			w[v1][v2] = 1 - math.Abs(h1[v1]-h2[v2]) // entropies lie in [0,1] bits
 		}
 	}
-	return assignResult(w, start)
+	return assignResult(w, start, reason)
 }
 
 // appearanceEntropies returns H(v) = −q·lg q − (1−q)·lg(1−q) per event,
@@ -170,7 +241,7 @@ func binaryEntropy(q float64) float64 {
 	return -q*math.Log2(q) - (1-q)*math.Log2(1-q)
 }
 
-func assignResult(w [][]float64, start time.Time) (Result, error) {
+func assignResult(w [][]float64, start time.Time, stopReason string) (Result, error) {
 	rowToCol, total, err := assign.Max(w)
 	if err != nil {
 		return Result{}, err
@@ -181,5 +252,11 @@ func assignResult(w [][]float64, start time.Time) (Result, error) {
 			m[v1] = event.ID(v2)
 		}
 	}
-	return Result{Mapping: m, Score: total, Elapsed: time.Since(start)}, nil
+	return Result{
+		Mapping:    m,
+		Score:      total,
+		Elapsed:    time.Since(start),
+		Truncated:  stopReason != "",
+		StopReason: stopReason,
+	}, nil
 }

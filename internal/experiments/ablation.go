@@ -46,7 +46,7 @@ func AblationBounds(cfg Config, sizes []int) ([]AblationRow, error) {
 		}
 		pr.DisableExistencePruning = true
 		m, st, err := pr.AStar(match.Options{Bound: match.BoundTight, MaxDuration: cfg.ExactBudget})
-		r := Result{Approach: "tight-no-prop3", Time: st.Elapsed, Generated: st.Generated, DNF: err != nil}
+		r := Result{Approach: "tight-no-prop3", Time: st.Elapsed, Generated: st.Generated, DNF: err != nil, Truncated: st.Truncated}
 		if err == nil {
 			r.FMeasure = in.fmeasure(m)
 		}
@@ -79,7 +79,7 @@ func AblationOrder(cfg Config, sizes []int) ([]AblationRow, error) {
 			naive bool
 		}{{"degree-order", false}, {"naive-order", true}} {
 			m, st, err := pr.AStar(match.Options{Bound: match.BoundTight, NaiveOrder: variant.naive, MaxDuration: cfg.ExactBudget})
-			r := Result{Approach: variant.name, Time: st.Elapsed, Generated: st.Generated, DNF: err != nil}
+			r := Result{Approach: variant.name, Time: st.Elapsed, Generated: st.Generated, DNF: err != nil, Truncated: st.Truncated}
 			if err == nil {
 				r.FMeasure = in.fmeasure(m)
 			}

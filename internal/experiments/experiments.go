@@ -73,8 +73,12 @@ type Result struct {
 	Approach  string
 	FMeasure  float64
 	Time      time.Duration
-	Generated int  // processed mappings M' (Figs 7c/8c/9c/10c)
-	DNF       bool // did not finish within budget
+	Generated int // processed mappings M' (Figs 7c/8c/9c/10c)
+	// Truncated marks an anytime result: the budget (or beam bound) cut
+	// the search short and FMeasure scores the best-so-far mapping. The
+	// paper's DNF entries map onto these rows.
+	Truncated bool
+	DNF       bool // genuine failure: no mapping was produced
 }
 
 // Point is one x-axis position (an event-set size or trace count) with the
@@ -130,15 +134,21 @@ func (in *instance) fmeasure(m match.Mapping) float64 {
 
 // runAStar runs the exact search in the given mode/bound under the budget.
 func (in *instance) runAStar(name string, mode match.Mode, bound match.BoundKind, budget time.Duration) Result {
+	return in.runAStarOpts(name, mode, match.Options{Bound: bound, MaxDuration: budget})
+}
+
+// runAStarOpts is runAStar with full search options (beam bound etc.). An
+// exhausted budget yields a truncated best-so-far row, not a DNF.
+func (in *instance) runAStarOpts(name string, mode match.Mode, opts match.Options) Result {
 	pr, err := in.problem(mode)
 	if err != nil {
 		return Result{Approach: name, DNF: true}
 	}
-	m, st, err := pr.AStar(match.Options{Bound: bound, MaxDuration: budget})
+	m, st, err := pr.AStar(opts)
 	if err != nil {
 		return Result{Approach: name, Time: st.Elapsed, Generated: st.Generated, DNF: true}
 	}
-	return Result{Approach: name, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+	return Result{Approach: name, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
 }
 
 // runGreedy runs Heuristic-Simple (pattern mode).
@@ -151,7 +161,7 @@ func (in *instance) runGreedy(budget time.Duration) Result {
 	if err != nil {
 		return Result{Approach: ApHeurSimple, Time: st.Elapsed, Generated: st.Generated, DNF: true}
 	}
-	return Result{Approach: ApHeurSimple, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+	return Result{Approach: ApHeurSimple, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
 }
 
 // runAdvanced runs Heuristic-Advanced (pattern mode).
@@ -166,7 +176,7 @@ func (in *instance) runAdvanced(budget time.Duration, opts match.Options) Result
 	if err != nil {
 		return Result{Approach: ApHeurAdvanced, Time: st.Elapsed, Generated: st.Generated, DNF: true}
 	}
-	return Result{Approach: ApHeurAdvanced, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated}
+	return Result{Approach: ApHeurAdvanced, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
 }
 
 // runIterative runs the Nejati-style baseline.
@@ -175,7 +185,7 @@ func (in *instance) runIterative() Result {
 	if err != nil {
 		return Result{Approach: ApIterative, DNF: true}
 	}
-	return Result{Approach: ApIterative, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+	return Result{Approach: ApIterative, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed, Truncated: res.Truncated}
 }
 
 // runVertexAssign runs the vertex baseline via assignment (Theorem 2 route);
@@ -185,7 +195,7 @@ func (in *instance) runVertexAssign() Result {
 	if err != nil {
 		return Result{Approach: ApVertex, DNF: true}
 	}
-	return Result{Approach: ApVertex, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+	return Result{Approach: ApVertex, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed, Truncated: res.Truncated}
 }
 
 // runEntropy runs the entropy-only baseline.
@@ -194,5 +204,5 @@ func (in *instance) runEntropy() Result {
 	if err != nil {
 		return Result{Approach: ApEntropy, DNF: true}
 	}
-	return Result{Approach: ApEntropy, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed}
+	return Result{Approach: ApEntropy, FMeasure: in.fmeasure(res.Mapping), Time: res.Elapsed, Truncated: res.Truncated}
 }

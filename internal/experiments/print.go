@@ -47,24 +47,36 @@ func PrintFigure(w io.Writer, title, xlabel string, points []Point) {
 		}
 		fmt.Fprintln(w)
 	}
+	truncatedSeen := false
+	mark := func(r Result, s string) string {
+		if r.Truncated {
+			truncatedSeen = true
+			return s + "*"
+		}
+		return s
+	}
 	panel("a: F-measure", func(r Result) string {
 		if r.DNF {
 			return "DNF"
 		}
-		return fmt.Sprintf("%.3f", r.FMeasure)
+		return mark(r, fmt.Sprintf("%.3f", r.FMeasure))
 	})
 	panel("b: time", func(r Result) string {
 		if r.DNF {
 			return "DNF"
 		}
-		return formatDuration(r.Time)
+		return mark(r, formatDuration(r.Time))
 	})
 	panel("c: # processed mappings", func(r Result) string {
 		if r.Generated == 0 {
 			return "-"
 		}
-		return fmt.Sprintf("%d", r.Generated)
+		return mark(r, fmt.Sprintf("%d", r.Generated))
 	})
+	if truncatedSeen {
+		fmt.Fprintln(w, "* truncated: budget or beam bound hit; value scores the best-so-far mapping")
+		fmt.Fprintln(w)
+	}
 }
 
 // PrintTable4 renders Table 4 plus a uniformity summary.
@@ -87,8 +99,11 @@ func PrintAblation(w io.Writer, title string, rows []AblationRow) {
 	fmt.Fprintf(w, "%-8s %-16s %10s %12s %14s\n", "x", "variant", "F", "time", "#mappings")
 	for _, r := range rows {
 		f := fmt.Sprintf("%.3f", r.Result.FMeasure)
-		if r.Result.DNF {
+		switch {
+		case r.Result.DNF:
 			f = "DNF"
+		case r.Result.Truncated:
+			f += "*"
 		}
 		fmt.Fprintf(w, "%-8d %-16s %10s %12s %14d\n", r.X, r.Variant, f, formatDuration(r.Result.Time), r.Result.Generated)
 	}

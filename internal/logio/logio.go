@@ -13,8 +13,10 @@
 package logio
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -24,21 +26,52 @@ import (
 
 // ReadTraceLines parses the trace-lines format: one trace per line of
 // whitespace-separated event names; blank lines and lines starting with '#'
-// are skipped.
+// are skipped. Strict mode of ReadTraceLinesReport.
 func ReadTraceLines(r io.Reader) (*event.Log, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("logio: %w", err)
-	}
+	l, _, err := ReadTraceLinesReport(r, ReadOptions{})
+	return l, err
+}
+
+// ReadTraceLinesReport is ReadTraceLines with fault tolerance and resource
+// guards. In lenient mode oversized traces are skipped and a byte-limit hit
+// keeps the traces parsed so far; both are recorded in the report.
+func ReadTraceLinesReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error) {
+	var rep ReadReport
 	l := event.NewLog()
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	br := bufio.NewReader(guardReader(r, opts))
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		lineNo++
+		if err != nil && err != io.EOF {
+			// Non-EOF failure (I/O error, byte limit): the partial line is
+			// unreliable, so it is dropped rather than parsed as a trace.
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: %w", err)
+			}
+			rep.record(opts, ParseError{Line: lineNo, Trace: -1, Msg: err.Error()})
+			break
 		}
-		l.AppendNames(strings.Fields(line)...)
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+			fields := strings.Fields(trimmed)
+			if opts.MaxTraceLen > 0 && len(fields) > opts.MaxTraceLen {
+				pe := ParseError{Line: lineNo, Trace: rep.Traces, Msg: fmt.Sprintf("trace has %d events, limit %d", len(fields), opts.MaxTraceLen)}
+				if !opts.Lenient {
+					return nil, rep, fmt.Errorf("logio: %w", pe)
+				}
+				rep.record(opts, pe)
+				rep.SkippedTraces++
+			} else {
+				l.AppendNames(fields...)
+				rep.Traces++
+			}
+		}
+		if err == io.EOF {
+			break
+		}
 	}
-	return l, nil
+	return l, rep, nil
 }
 
 // WriteTraceLines writes the log in trace-lines format.
@@ -62,35 +95,103 @@ func WriteTraceLines(w io.Writer, l *event.Log) error {
 
 // ReadCSV parses "case,activity" rows (with optional header). Rows are taken
 // in file order as the event order within each case; traces are emitted in
-// order of each case's first appearance.
+// order of each case's first appearance. Strict mode of ReadCSVReport.
 func ReadCSV(r io.Reader) (*event.Log, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 2
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("logio: csv: %w", err)
-	}
-	l := event.NewLog()
+	l, _, err := ReadCSVReport(r, ReadOptions{})
+	return l, err
+}
+
+// ReadCSVReport is ReadCSV with fault tolerance and resource guards. Rows are
+// streamed, so a malformed row is located by its 1-based input line. In
+// lenient mode malformed rows are skipped, cases whose traces exceed
+// MaxTraceLen are dropped whole, and a byte-limit hit keeps the rows parsed so
+// far; every skip is recorded in the report.
+func ReadCSVReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error) {
+	var rep ReadReport
+	cr := csv.NewReader(guardReader(r, opts))
+	cr.FieldsPerRecord = -1 // validated by hand for per-row leniency
 	order := []string{}
 	byCase := map[string][]string{}
-	for i, rec := range records {
-		if i == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), "case") {
-			continue // header
+	oversized := map[string]bool{}
+	first := true
+	caseIdx := map[string]int{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var pe *csv.ParseError
+			line := 0
+			if errors.As(err, &pe) {
+				line = pe.Line
+			}
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: csv: %w", err)
+			}
+			rep.record(opts, ParseError{Line: line, Trace: -1, Msg: err.Error()})
+			if !errors.As(err, &pe) {
+				break // I/O error or byte limit: nothing more to stream
+			}
+			rep.SkippedRows++
+			continue
+		}
+		line, _ := cr.FieldPos(0)
+		if first {
+			first = false
+			if len(rec) > 0 && strings.EqualFold(strings.TrimSpace(rec[0]), "case") {
+				continue // header
+			}
+		}
+		if len(rec) != 2 {
+			pe := ParseError{Line: line, Trace: -1, Msg: fmt.Sprintf("expected 2 fields, got %d", len(rec))}
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: csv: %w", pe)
+			}
+			rep.record(opts, pe)
+			rep.SkippedRows++
+			continue
 		}
 		c := strings.TrimSpace(rec[0])
 		a := strings.TrimSpace(rec[1])
 		if c == "" || a == "" {
-			return nil, fmt.Errorf("logio: csv row %d: empty case or activity", i+1)
+			pe := ParseError{Line: line, Trace: -1, Msg: "empty case or activity"}
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: csv: %w", pe)
+			}
+			rep.record(opts, pe)
+			rep.SkippedRows++
+			continue
+		}
+		if oversized[c] {
+			continue // the whole case is being dropped
 		}
 		if _, ok := byCase[c]; !ok {
+			caseIdx[c] = len(order)
 			order = append(order, c)
+		}
+		if opts.MaxTraceLen > 0 && len(byCase[c]) >= opts.MaxTraceLen {
+			pe := ParseError{Line: line, Trace: caseIdx[c], Msg: fmt.Sprintf("case %q exceeds %d events", c, opts.MaxTraceLen)}
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: csv: %w", pe)
+			}
+			rep.record(opts, pe)
+			rep.SkippedTraces++
+			oversized[c] = true
+			byCase[c] = nil
+			continue
 		}
 		byCase[c] = append(byCase[c], a)
 	}
+	l := event.NewLog()
 	for _, c := range order {
+		if oversized[c] || len(byCase[c]) == 0 {
+			continue
+		}
 		l.AppendNames(byCase[c]...)
+		rep.Traces++
 	}
-	return l, nil
+	return l, rep, nil
 }
 
 // WriteCSV writes the log as "case,activity" rows with a header, numbering
@@ -136,33 +237,160 @@ type xesString struct {
 	Value string `xml:"value,attr"`
 }
 
-// ReadXES parses a minimal XES document.
+// ReadXES parses a minimal XES document. Strict mode of ReadXESReport.
 func ReadXES(r io.Reader) (*event.Log, error) {
-	var doc xesLog
-	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("logio: xes: %w", err)
-	}
+	l, _, err := ReadXESReport(r, ReadOptions{})
+	return l, err
+}
+
+// ReadXESReport is ReadXES with fault tolerance and resource guards. The
+// document is token-streamed rather than decoded whole, so a malformed or
+// incomplete document still yields the traces before the damage. In lenient
+// mode events without a concept:name, badly nested elements, and oversized
+// traces are skipped; an XML syntax error or byte-limit hit stops parsing but
+// keeps the complete traces seen so far. Every problem is recorded.
+func ReadXESReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error) {
+	var rep ReadReport
 	l := event.NewLog()
-	for ti, tr := range doc.Traces {
-		names := make([]string, 0, len(tr.Events))
-		for ei, ev := range tr.Events {
-			name := ""
-			for _, s := range ev.Strings {
-				if s.Key == "concept:name" {
-					name = s.Value
-					break
+	dec := xml.NewDecoder(guardReader(r, opts))
+	var (
+		inTrace, inEvent bool
+		sawRoot          bool
+		names            []string
+		curName          string
+		sawName          bool
+		traceIdx         = -1
+		eventIdx         int
+		traceBad         bool
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			line := 0
+			var syn *xml.SyntaxError
+			if errors.As(err, &syn) {
+				line = syn.Line
+			}
+			if !opts.Lenient {
+				return nil, rep, fmt.Errorf("logio: xes: %w", err)
+			}
+			rep.record(opts, ParseError{Line: line, Trace: traceIdx, Msg: err.Error()})
+			if inTrace {
+				rep.SkippedTraces++ // the open trace cannot be trusted
+			}
+			return l, rep, nil
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if !sawRoot {
+				sawRoot = true
+				if t.Name.Local != "log" {
+					pe := ParseError{Trace: -1, Msg: fmt.Sprintf("expected element type <log> but have <%s>", t.Name.Local)}
+					if !opts.Lenient {
+						return nil, rep, fmt.Errorf("logio: xes: %w", pe)
+					}
+					rep.record(opts, pe)
+				}
+				if t.Name.Local == "log" {
+					continue
 				}
 			}
-			if name == "" {
-				return nil, fmt.Errorf("logio: xes: trace %d event %d has no concept:name", ti, ei)
+			switch t.Name.Local {
+			case "trace":
+				if inTrace {
+					pe := ParseError{Trace: traceIdx, Msg: "nested <trace> element"}
+					if !opts.Lenient {
+						return nil, rep, fmt.Errorf("logio: xes: %w", pe)
+					}
+					rep.record(opts, pe)
+					traceBad = true
+					continue
+				}
+				inTrace = true
+				traceIdx++
+				eventIdx = 0
+				traceBad = false
+				names = names[:0]
+			case "event":
+				if !inTrace || inEvent {
+					pe := ParseError{Trace: traceIdx, Msg: "misplaced <event> element"}
+					if !opts.Lenient {
+						return nil, rep, fmt.Errorf("logio: xes: %w", pe)
+					}
+					rep.record(opts, pe)
+					rep.SkippedRows++
+					continue
+				}
+				inEvent = true
+				sawName = false
+			case "string":
+				if inEvent && !sawName {
+					key, val := "", ""
+					for _, a := range t.Attr {
+						switch a.Name.Local {
+						case "key":
+							key = a.Value
+						case "value":
+							val = a.Value
+						}
+					}
+					if key == "concept:name" {
+						curName = val
+						sawName = true
+					}
+				}
 			}
-			names = append(names, name)
-		}
-		if len(names) > 0 {
-			l.AppendNames(names...)
+		case xml.EndElement:
+			switch t.Name.Local {
+			case "event":
+				if !inEvent {
+					continue
+				}
+				inEvent = false
+				if !sawName {
+					pe := ParseError{Trace: traceIdx, Msg: fmt.Sprintf("trace %d event %d has no concept:name", traceIdx, eventIdx)}
+					if !opts.Lenient {
+						return nil, rep, fmt.Errorf("logio: xes: %s", pe.Msg)
+					}
+					rep.record(opts, pe)
+					rep.SkippedRows++
+				} else {
+					names = append(names, curName)
+				}
+				eventIdx++
+			case "trace":
+				if !inTrace {
+					continue
+				}
+				inTrace = false
+				if opts.MaxTraceLen > 0 && len(names) > opts.MaxTraceLen {
+					pe := ParseError{Trace: traceIdx, Msg: fmt.Sprintf("trace has %d events, limit %d", len(names), opts.MaxTraceLen)}
+					if !opts.Lenient {
+						return nil, rep, fmt.Errorf("logio: xes: %w", pe)
+					}
+					rep.record(opts, pe)
+					traceBad = true
+				}
+				if traceBad {
+					rep.SkippedTraces++
+				} else if len(names) > 0 {
+					l.AppendNames(names...)
+					rep.Traces++
+				}
+			}
 		}
 	}
-	return l, nil
+	if !sawRoot {
+		err := fmt.Errorf("logio: xes: %w", io.ErrUnexpectedEOF)
+		if !opts.Lenient {
+			return nil, rep, err
+		}
+		rep.record(opts, ParseError{Trace: -1, Msg: "no XML content"})
+	}
+	return l, rep, nil
 }
 
 // WriteXES writes the log as a minimal XES document.
@@ -209,17 +437,24 @@ func DetectFormat(filename string) string {
 	}
 }
 
-// Read parses r in the named format.
+// Read parses r in the named format (strict mode).
 func Read(r io.Reader, format string) (*event.Log, error) {
+	l, _, err := ReadWithReport(r, format, ReadOptions{})
+	return l, err
+}
+
+// ReadWithReport parses r in the named format under the given fault-tolerance
+// and resource options.
+func ReadWithReport(r io.Reader, format string, opts ReadOptions) (*event.Log, ReadReport, error) {
 	switch format {
 	case FormatTraceLines:
-		return ReadTraceLines(r)
+		return ReadTraceLinesReport(r, opts)
 	case FormatCSV:
-		return ReadCSV(r)
+		return ReadCSVReport(r, opts)
 	case FormatXES:
-		return ReadXES(r)
+		return ReadXESReport(r, opts)
 	default:
-		return nil, fmt.Errorf("logio: unknown format %q", format)
+		return nil, ReadReport{}, fmt.Errorf("logio: unknown format %q", format)
 	}
 }
 

@@ -1,0 +1,110 @@
+package logio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxErrors caps how many ParseErrors a ReadReport retains when
+// ReadOptions.MaxErrors is zero. The count keeps running past the cap.
+const DefaultMaxErrors = 100
+
+// ReadOptions control fault tolerance and resource guards for the readers.
+// The zero value is strict mode with no trace-length or byte limits.
+type ReadOptions struct {
+	// Lenient makes the readers skip malformed rows (CSV), malformed or
+	// incomplete events (XES), and oversized traces instead of failing on
+	// the first problem. Every skip is recorded in the ReadReport.
+	Lenient bool
+	// MaxTraceLen rejects traces with more events than this; 0 means
+	// unlimited. In strict mode an oversized trace is an error; in lenient
+	// mode the whole trace is skipped.
+	MaxTraceLen int
+	// MaxLogBytes caps how many input bytes a reader consumes; 0 means
+	// unlimited. In strict mode exceeding the cap is an error; in lenient
+	// mode the traces parsed before the cap are kept and the truncation is
+	// recorded.
+	MaxLogBytes int64
+	// MaxErrors caps how many ParseErrors the report retains (the error
+	// *count* keeps running). 0 means DefaultMaxErrors.
+	MaxErrors int
+}
+
+func (o ReadOptions) maxErrors() int {
+	if o.MaxErrors <= 0 {
+		return DefaultMaxErrors
+	}
+	return o.MaxErrors
+}
+
+// ParseError describes one malformed piece of input. Line is 1-based when the
+// format has meaningful line numbers and 0 otherwise; Trace is the 0-based
+// trace (or CSV case / XES trace element) index when known, else -1.
+type ParseError struct {
+	Line  int
+	Trace int
+	Msg   string
+}
+
+func (e ParseError) Error() string {
+	switch {
+	case e.Line > 0 && e.Trace >= 0:
+		return fmt.Sprintf("line %d (trace %d): %s", e.Line, e.Trace, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	case e.Trace >= 0:
+		return fmt.Sprintf("trace %d: %s", e.Trace, e.Msg)
+	default:
+		return e.Msg
+	}
+}
+
+// ReadReport summarizes a (possibly lenient) read.
+type ReadReport struct {
+	Traces        int          // traces delivered into the log
+	SkippedRows   int          // malformed rows/events dropped (lenient)
+	SkippedTraces int          // whole traces dropped (lenient)
+	ErrorCount    int          // total problems encountered, capped nowhere
+	Errors        []ParseError // first maxErrors problems, in input order
+}
+
+// record notes one problem; retention is capped, the count is not.
+func (rep *ReadReport) record(opts ReadOptions, e ParseError) {
+	rep.ErrorCount++
+	if len(rep.Errors) < opts.maxErrors() {
+		rep.Errors = append(rep.Errors, e)
+	}
+}
+
+// ErrLogTooLarge is returned (wrapped) when the input exceeds
+// ReadOptions.MaxLogBytes.
+var ErrLogTooLarge = errors.New("input exceeds byte limit")
+
+// limitedReader reads at most max bytes and then fails with ErrLogTooLarge —
+// unlike io.LimitReader, which reports a silent EOF and would make a truncated
+// log indistinguishable from a complete one.
+type limitedReader struct {
+	r   io.Reader
+	max int64
+}
+
+func (lr *limitedReader) Read(p []byte) (int, error) {
+	if lr.max <= 0 {
+		return 0, ErrLogTooLarge
+	}
+	if int64(len(p)) > lr.max {
+		p = p[:lr.max]
+	}
+	n, err := lr.r.Read(p)
+	lr.max -= int64(n)
+	return n, err
+}
+
+// guardReader applies MaxLogBytes if set.
+func guardReader(r io.Reader, opts ReadOptions) io.Reader {
+	if opts.MaxLogBytes > 0 {
+		return &limitedReader{r: r, max: opts.MaxLogBytes}
+	}
+	return r
+}

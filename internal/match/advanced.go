@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -14,10 +15,23 @@ import (
 // (Algorithm 4) and commits the one with the best g+h.
 //
 // For the special case of vertex-only patterns the result is the optimal
-// matching (Proposition 6).
+// matching (Proposition 6). See HeuristicAdvancedContext.
 func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
+	return pr.HeuristicAdvancedContext(context.Background(), opts)
+}
+
+// HeuristicAdvancedContext is HeuristicAdvanced under a caller context. The
+// heuristic is anytime: cancellation and budgets are polled inside the
+// anchoring, augmentation and repair inner loops (every few hundred
+// candidate evaluations, so one expensive round cannot overshoot
+// MaxDuration). On a stop mid-augmentation the current partial matching is
+// completed greedily; mid-repair the current (already complete) matching is
+// returned as-is. Either way the result carries Stats.Truncated instead of
+// an error.
+func (pr *Problem) HeuristicAdvancedContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
+	stop := newStopper(ctx, opts, start)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	n := n1
 	if n2 > n {
@@ -54,16 +68,16 @@ func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
 	// only has to fill in the rest. Vertex/edge-only problems are unaffected
 	// (no complex patterns), keeping Proposition 6 intact.
 	if !opts.NoSeed {
-		for _, pair := range pr.seedFromPatterns(&st) {
+		for _, pair := range pr.seedFromPatterns(&st, stop) {
 			matchX[pair[0]] = pair[1]
 			matchY[pair[1]] = pair[0]
 		}
 	}
 
+rounds:
 	for round := 0; round < n; round++ {
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			st.Elapsed = time.Since(start)
-			return nil, st, ErrBudgetExceeded
+		if _, halt := stop.now(&st); halt {
+			break
 		}
 		type candidate struct {
 			score          float64
@@ -82,6 +96,9 @@ func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
 			st.Expanded++
 			tlx, tly, way, freeCols := alternatingTree(u, theta, lx, ly, matchX, matchY)
 			for _, endCol := range freeCols {
+				if _, halt := stop.every(&st); halt {
+					break rounds
+				}
 				st.Generated++
 				mx := append([]int(nil), matchX...)
 				my := append([]int(nil), matchY...)
@@ -105,29 +122,47 @@ func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
 			m[i] = event.ID(j)
 		}
 	}
-	pr.stripArtificial(m)
-	mappedCount := 0
-	for _, v := range m {
-		if v != event.None {
-			mappedCount++
+	if _, halt := stop.halted(); halt {
+		// Anytime path: the augmentation (or seeding) was cut short. Keep
+		// whatever the matching holds and complete the rest greedily over
+		// the padded target set, skipping the repair phase.
+		used := make([]bool, n2)
+		for _, v := range m {
+			if v != event.None {
+				used[v] = true
+			}
+		}
+		pr.completeGreedy(m, used, opts)
+	} else {
+		pr.stripArtificial(m)
+		mappedCount := 0
+		for _, v := range m {
+			if v != event.None {
+				mappedCount++
+			}
+		}
+		want := n1
+		if pr.n2real < want {
+			want = pr.n2real
+		}
+		if mappedCount != want {
+			st.Elapsed = time.Since(start)
+			return nil, st, errors.New("match: heuristic failed to produce a perfect matching")
+		}
+		// Repair phase — the paper's second intuition (§5.1): "modify the
+		// previously determined matching M referring to the patterns". Once the
+		// augmentation loop has produced a perfect matching, pattern-guided
+		// pairwise swaps (and moves onto unused targets) fix early erroneous
+		// commitments that augmenting paths alone did not revisit. Each swap is
+		// evaluated incrementally through the Ip index.
+		if !opts.NoRepair {
+			pr.repair(m, &st, opts, stop)
 		}
 	}
-	want := n1
-	if pr.n2real < want {
-		want = pr.n2real
-	}
-	if mappedCount != want {
-		st.Elapsed = time.Since(start)
-		return nil, st, errors.New("match: heuristic failed to produce a perfect matching")
-	}
-	// Repair phase — the paper's second intuition (§5.1): "modify the
-	// previously determined matching M referring to the patterns". Once the
-	// augmentation loop has produced a perfect matching, pattern-guided
-	// pairwise swaps (and moves onto unused targets) fix early erroneous
-	// commitments that augmenting paths alone did not revisit. Each swap is
-	// evaluated incrementally through the Ip index.
-	if !opts.NoRepair {
-		pr.repair(m, &st, opts, start)
+	pr.stripArtificial(m)
+	if reason, halt := stop.halted(); halt {
+		st.Truncated = true
+		st.StopReason = reason
 	}
 	st.Elapsed = time.Since(start)
 	st.Score = pr.Distance(m)
@@ -135,18 +170,22 @@ func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
 }
 
 // repair hill-climbs the complete mapping under the pattern normal distance
-// using target swaps and moves to unused targets, until a local optimum.
-func (pr *Problem) repair(m Mapping, st *Stats, opts Options, start time.Time) {
+// using target swaps and moves to unused targets, until a local optimum or
+// until the stopper fires. The budget is polled inside each candidate loop
+// (not once per sweep): a full sweep is quadratic-to-cubic in the alphabet,
+// far too coarse a granularity for a wall-clock deadline. m stays complete
+// at every instant, so an early return is a valid anytime result.
+func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper) {
 	n1 := len(m)
 	const eps = 1e-12
 	for improved := true; improved; {
 		improved = false
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			return
-		}
 		// Pairwise target swaps.
 		for i := 0; i < n1; i++ {
 			for j := i + 1; j < n1; j++ {
+				if _, halt := stop.every(st); halt {
+					return
+				}
 				st.Generated++
 				if pr.swapGain(m, event.ID(i), event.ID(j)) > eps {
 					m[i], m[j] = m[j], m[i]
@@ -165,6 +204,9 @@ func (pr *Problem) repair(m Mapping, st *Stats, opts Options, start time.Time) {
 					for k := j + 1; k < n1; k++ {
 						if k == i {
 							continue
+						}
+						if _, halt := stop.every(st); halt {
+							return
 						}
 						st.Generated++
 						if pr.rotateGain(m, event.ID(i), event.ID(j), event.ID(k)) > eps {
@@ -187,6 +229,9 @@ func (pr *Problem) repair(m Mapping, st *Stats, opts Options, start time.Time) {
 				for b := 0; b < pr.n2real; b++ {
 					if used[b] {
 						continue
+					}
+					if _, halt := stop.every(st); halt {
+						return
 					}
 					st.Generated++
 					old := m[i]

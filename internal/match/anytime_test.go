@@ -1,0 +1,283 @@
+package match
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/pattern"
+)
+
+// injective verifies that no target is used twice.
+func injective(t *testing.T, m Mapping) {
+	t.Helper()
+	seen := map[event.ID]bool{}
+	for _, v := range m {
+		if v == event.None {
+			continue
+		}
+		if seen[v] {
+			t.Fatalf("mapping not injective at target %d: %v", v, m)
+		}
+		seen[v] = true
+	}
+}
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestAStarContextCanceledReturnsBestSoFar(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.AStarContext(canceledCtx(), Options{Bound: BoundSharp})
+	if err != nil {
+		t.Fatalf("canceled search must still return a result: %v", err)
+	}
+	if !st.Truncated || st.StopReason != StopCanceled {
+		t.Errorf("stats = %+v, want Truncated with StopReason=%q", st, StopCanceled)
+	}
+	if !m.Complete() {
+		t.Errorf("best-so-far mapping incomplete: %v", m)
+	}
+	injective(t, m)
+}
+
+func TestAStarContextCancelMidSearchStopsQuickly(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	m, st, err := pr.AStarContext(ctx, Options{Bound: BoundSimple})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either the search finished before the cancel (tiny instance) or it
+	// stopped promptly with a complete best-so-far mapping.
+	if st.Truncated && st.StopReason != StopCanceled {
+		t.Errorf("unexpected stop reason %q", st.StopReason)
+	}
+	if elapsed > time.Second {
+		t.Errorf("search ran %v after cancellation", elapsed)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+}
+
+func TestAStarDeadlineReturnsCompleteMapping(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.AStar(Options{Bound: BoundSimple, MaxDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopDeadline {
+		t.Errorf("stats = %+v, want Truncated with StopReason=%q", st, StopDeadline)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+	injective(t, m)
+}
+
+func TestAStarMaxFrontierBeamCompletes(t *testing.T) {
+	l1, l2, truth := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.AStar(Options{Bound: BoundSimple, MaxFrontier: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopMaxFrontier {
+		t.Errorf("stats = %+v, want Truncated with StopReason=%q", st, StopMaxFrontier)
+	}
+	if !m.Complete() {
+		t.Errorf("beam mapping incomplete: %v", m)
+	}
+	injective(t, m)
+	// The beam result need not be optimal, but its score must be what the
+	// stats claim.
+	if !approx(st.Score, pr.Distance(m)) {
+		t.Errorf("score %v != recomputed %v", st.Score, pr.Distance(m))
+	}
+	_ = truth
+}
+
+func TestAStarMaxFrontierUnhitLeavesOptimal(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFree, stFree, err := pr.AStar(Options{Bound: BoundSharp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mCapped, stCapped, err := pr.AStar(Options{Bound: BoundSharp, MaxFrontier: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCapped.Truncated {
+		t.Errorf("huge frontier cap must not truncate: %+v", stCapped)
+	}
+	if !approx(stFree.Score, stCapped.Score) {
+		t.Errorf("scores differ under unhit cap: %v vs %v", stFree.Score, stCapped.Score)
+	}
+	_, _ = mFree, mCapped
+}
+
+func TestGreedyExpandBudgetTruncates(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.GreedyExpand(Options{Bound: BoundSimple, MaxGenerated: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopMaxGenerated {
+		t.Errorf("stats = %+v, want Truncated with StopReason=%q", st, StopMaxGenerated)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+	injective(t, m)
+}
+
+func TestGreedyExpandContextCanceled(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.GreedyExpandContext(canceledCtx(), Options{Bound: BoundSimple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopCanceled {
+		t.Errorf("stats = %+v", st)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+	injective(t, m)
+}
+
+func TestHeuristicAdvancedContextCanceled(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.HeuristicAdvancedContext(canceledCtx(), Options{Bound: BoundSimple})
+	if err != nil {
+		t.Fatalf("canceled heuristic must still return a result: %v", err)
+	}
+	if !st.Truncated || st.StopReason != StopCanceled {
+		t.Errorf("stats = %+v", st)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+	injective(t, m)
+	if !approx(st.Score, pr.Distance(m)) {
+		t.Errorf("score %v != recomputed %v", st.Score, pr.Distance(m))
+	}
+}
+
+func TestHeuristicAdvancedDeadlineTruncates(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.HeuristicAdvanced(Options{Bound: BoundSimple, MaxDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopDeadline {
+		t.Errorf("stats = %+v", st)
+	}
+	if !m.Complete() {
+		t.Errorf("mapping incomplete: %v", m)
+	}
+	injective(t, m)
+}
+
+func TestExtendOneToNContextCanceled(t *testing.T) {
+	l1 := event.FromStrings("A B", "A B", "B A")
+	l2 := event.FromStrings("a b c", "a b c", "b a c")
+	ps, err := pattern.ParseBind("SEQ(A,B)", l1.Alphabet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := BuildProblem(l1, l2, []*pattern.Pattern{ps}, ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := pr.HeuristicAdvanced(Options{Bound: BoundSimple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, st, err := pr.ExtendOneToNContext(canceledCtx(), base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.StopReason != StopCanceled {
+		t.Errorf("stats = %+v", st)
+	}
+	// The injective base must survive untouched.
+	for v1, v2 := range base {
+		if v2 == event.None {
+			continue
+		}
+		found := false
+		for _, img := range sm[v1] {
+			if img == v2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("base pair %d->%d lost in truncated set mapping", v1, v2)
+		}
+	}
+}
+
+func TestStopperMaxGenerated(t *testing.T) {
+	var st Stats
+	s := newStopper(context.Background(), Options{MaxGenerated: 2}, time.Now())
+	if _, halt := s.every(&st); halt {
+		t.Fatal("fresh stopper must not halt")
+	}
+	st.Generated = 2
+	reason, halt := s.every(&st)
+	if !halt || reason != StopMaxGenerated {
+		t.Fatalf("got (%q, %v)", reason, halt)
+	}
+	// The verdict is sticky.
+	st.Generated = 0
+	if reason, halt := s.halted(); !halt || reason != StopMaxGenerated {
+		t.Fatalf("halted() = (%q, %v), want sticky verdict", reason, halt)
+	}
+}

@@ -2,7 +2,9 @@ package match
 
 import (
 	"container/heap"
+	"context"
 	"errors"
+	"sort"
 	"time"
 
 	"eventmatch/internal/event"
@@ -11,6 +13,11 @@ import (
 // ErrBudgetExceeded reports that a search exhausted its node or time budget
 // before proving optimality (the paper's "cannot return results" outcome for
 // Exact on large event sets, Fig. 12).
+//
+// Deprecated: since the searches became anytime, exhausting a budget no
+// longer returns an error — the best complete-so-far mapping is returned
+// with Stats.Truncated set and Stats.StopReason naming the exhausted
+// budget. The sentinel remains for callers that still compare against it.
 var ErrBudgetExceeded = errors.New("match: search budget exceeded")
 
 // Options control the search algorithms.
@@ -23,6 +30,12 @@ type Options struct {
 
 	// MaxDuration caps wall-clock time; 0 means unlimited.
 	MaxDuration time.Duration
+
+	// MaxFrontier caps the A* open list size: whenever the frontier grows
+	// past the cap it is beam-pruned to the best MaxFrontier nodes by g+h.
+	// This bounds memory on large instances at the price of optimality —
+	// a pruned search marks its result Stats.Truncated. 0 means unlimited.
+	MaxFrontier int
 
 	// Ablation switches (all false in normal operation).
 
@@ -41,6 +54,15 @@ type Stats struct {
 	Generated int           // candidate mappings M' processed (the paper's Fig. 7c metric)
 	Elapsed   time.Duration // wall-clock time
 	Score     float64       // pattern normal distance of the returned mapping
+
+	// Truncated marks an anytime result: a budget ran out or the caller's
+	// context was canceled before the algorithm finished, and the returned
+	// mapping is the best complete mapping available at that moment rather
+	// than the algorithm's full output.
+	Truncated bool
+	// StopReason names the exhausted budget when Truncated (one of the
+	// Stop* constants); empty otherwise.
+	StopReason string
 }
 
 // node is an A* search-tree node: a partial mapping with its g and h values.
@@ -73,13 +95,24 @@ func (h *nodeHeap) Pop() interface{} {
 }
 
 // AStar finds the optimal mapping maximizing the pattern normal distance, via
-// the best-first search of Algorithm 1. The returned mapping covers
-// min(|V1|, |V2|) events. If the budget runs out, it returns the best
-// complete-so-far information available wrapped in ErrBudgetExceeded (the
-// mapping result is nil in that case).
+// the best-first search of Algorithm 1. See AStarContext.
 func (pr *Problem) AStar(opts Options) (Mapping, Stats, error) {
+	return pr.AStarContext(context.Background(), opts)
+}
+
+// AStarContext is AStar under a caller context. The returned mapping covers
+// min(|V1|, |V2|) events.
+//
+// The search is anytime: if the context is canceled or a budget
+// (MaxDuration, MaxGenerated) runs out, the best frontier node is greedily
+// completed into a full mapping and returned with Stats.Truncated set —
+// never a nil result. MaxFrontier beam-prunes the open list to bound
+// memory; a pruned run also reports Truncated, since optimality can no
+// longer be proven.
+func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
+	stop := newStopper(ctx, opts, start)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
 	if n2 < depthGoal {
@@ -94,17 +127,24 @@ func (pr *Problem) AStar(opts Options) (Mapping, Stats, error) {
 
 	q := &nodeHeap{root}
 	heap.Init(q)
+	pruned := false
 
 	for q.Len() > 0 {
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			st.Elapsed = time.Since(start)
-			return nil, st, ErrBudgetExceeded
-		}
 		cur := heap.Pop(q).(*node)
 		if cur.depth == depthGoal {
 			st.Elapsed = time.Since(start)
 			st.Score = cur.g
+			if pruned {
+				// The goal was reached, but pruning may have discarded the
+				// optimal branch along the way.
+				st.Truncated = true
+				st.StopReason = StopMaxFrontier
+			}
 			return pr.stripArtificial(cur.m), st, nil
+		}
+		if reason, halt := stop.now(&st); halt {
+			heap.Push(q, cur) // cur is the best frontier node: keep it reachable
+			return pr.truncateAStar(q, opts, &st, reason, start)
 		}
 		st.Expanded++
 		a := pr.expandEvent(cur.depth, opts)
@@ -112,17 +152,85 @@ func (pr *Problem) AStar(opts Options) (Mapping, Stats, error) {
 			if cur.used[b] {
 				continue
 			}
-			if opts.MaxGenerated > 0 && st.Generated >= opts.MaxGenerated {
-				st.Elapsed = time.Since(start)
-				return nil, st, ErrBudgetExceeded
+			if reason, halt := stop.every(&st); halt {
+				heap.Push(q, cur)
+				return pr.truncateAStar(q, opts, &st, reason, start)
 			}
 			st.Generated++
 			child := pr.expand(cur, a, event.ID(b), opts.Bound)
 			heap.Push(q, child)
 		}
+		if opts.MaxFrontier > 0 && q.Len() > opts.MaxFrontier {
+			pruneFrontier(q, opts.MaxFrontier)
+			pruned = true
+		}
 	}
 	st.Elapsed = time.Since(start)
 	return nil, st, errors.New("match: search space exhausted without a complete mapping")
+}
+
+// truncateAStar produces the anytime result when a budget fires mid-search:
+// the best frontier node (by g+h) greedily completed into a full mapping.
+func (pr *Problem) truncateAStar(q *nodeHeap, opts Options, st *Stats, reason string, start time.Time) (Mapping, Stats, error) {
+	best := (*q)[0] // heap root: the frontier node with the largest g+h
+	m := best.m.Clone()
+	used := append([]bool(nil), best.used...)
+	pr.completeGreedy(m, used, opts)
+	st.Truncated = true
+	st.StopReason = reason
+	st.Score = pr.Distance(m)
+	st.Elapsed = time.Since(start)
+	return pr.stripArtificial(m), *st, nil
+}
+
+// pruneFrontier beam-prunes the open list down to its best max nodes by g+h.
+func pruneFrontier(q *nodeHeap, max int) {
+	nodes := *q
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].g+nodes[i].h > nodes[j].g+nodes[j].h
+	})
+	for i := max; i < len(nodes); i++ {
+		nodes[i] = nil // release the dropped tail's mappings
+	}
+	*q = nodes[:max]
+	heap.Init(q)
+}
+
+// completeGreedy fills every unmapped source event of m, in expansion order,
+// with the unused target whose commitment adds the largest incremental
+// pattern contribution. It ignores all budgets — its cost is one greedy
+// sweep, the price of always returning a complete anytime mapping — and
+// skips the h-bound entirely (only newly completed patterns are scored).
+func (pr *Problem) completeGreedy(m Mapping, used []bool, opts Options) {
+	n1, n2 := len(m), pr.n2pad
+	for depth := 0; depth < n1; depth++ {
+		a := pr.expandEvent(depth, opts)
+		if m[a] != event.None {
+			continue
+		}
+		bestB := -1
+		bestGain := 0.0
+		for b := 0; b < n2; b++ {
+			if used[b] {
+				continue
+			}
+			m[a] = event.ID(b)
+			gain := 0.0
+			for _, piIdx := range pr.pix.NewlyCompleted(a, func(v event.ID) bool { return m[v] != event.None && v != a }) {
+				gain += pr.contribution(&pr.patterns[piIdx], m)
+			}
+			m[a] = event.None
+			if bestB < 0 || gain > bestGain {
+				bestGain = gain
+				bestB = b
+			}
+		}
+		if bestB < 0 {
+			return // no unused target left (|V2| < |V1| cannot happen post-padding)
+		}
+		m[a] = event.ID(bestB)
+		used[bestB] = true
+	}
 }
 
 // expandEvent picks the V1 event to expand at the given depth.

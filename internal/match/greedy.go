@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -10,10 +11,22 @@ import (
 // GreedyExpand is Heuristic-Simple (§5 opening): instead of keeping the whole
 // A* frontier, each step expands only the single a→b child with the largest
 // g+h and commits to it. Fast, but an early wrong commitment can never be
-// undone — the deficiency Heuristic-Advanced addresses.
+// undone — the deficiency Heuristic-Advanced addresses. See
+// GreedyExpandContext.
 func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
+	return pr.GreedyExpandContext(context.Background(), opts)
+}
+
+// GreedyExpandContext is GreedyExpand under a caller context. The search is
+// anytime: on cancellation or budget exhaustion — polled inside the
+// candidate-evaluation inner loop, not just once per expansion round, so a
+// single expensive round cannot overshoot MaxDuration — the partial mapping
+// is completed with cheap greedy commitments (no h-bound evaluation) and
+// returned with Stats.Truncated set.
+func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
+	stop := newStopper(ctx, opts, start)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
 	if n2 < depthGoal {
@@ -21,9 +34,8 @@ func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
 	}
 	cur := &node{m: NewMapping(n1), used: make([]bool, n2)}
 	for cur.depth < depthGoal {
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			st.Elapsed = time.Since(start)
-			return nil, st, ErrBudgetExceeded
+		if reason, halt := stop.now(&st); halt {
+			return pr.truncateGreedy(cur, opts, &st, reason, start)
 		}
 		st.Expanded++
 		a := pr.expandEvent(cur.depth, opts)
@@ -31,6 +43,15 @@ func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
 		for b := 0; b < n2; b++ {
 			if cur.used[b] {
 				continue
+			}
+			if reason, halt := stop.every(&st); halt {
+				// Commit the best candidate seen so far, then finish the
+				// rest of the mapping without the h-bound.
+				base := cur
+				if best != nil {
+					base = best
+				}
+				return pr.truncateGreedy(base, opts, &st, reason, start)
 			}
 			st.Generated++
 			child := pr.expand(cur, a, event.ID(b), opts.Bound)
@@ -47,4 +68,17 @@ func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
 	st.Elapsed = time.Since(start)
 	st.Score = cur.g
 	return pr.stripArtificial(cur.m), st, nil
+}
+
+// truncateGreedy completes base's partial mapping greedily and returns it as
+// the anytime result.
+func (pr *Problem) truncateGreedy(base *node, opts Options, st *Stats, reason string, start time.Time) (Mapping, Stats, error) {
+	m := base.m.Clone()
+	used := append([]bool(nil), base.used...)
+	pr.completeGreedy(m, used, opts)
+	st.Truncated = true
+	st.StopReason = reason
+	st.Score = pr.Distance(m)
+	st.Elapsed = time.Since(start)
+	return pr.stripArtificial(m), *st, nil
 }

@@ -224,11 +224,19 @@ func TestTightBoundPrunesAtLeastAsWell(t *testing.T) {
 }
 
 func TestAStarBudget(t *testing.T) {
+	// Exhausting MaxGenerated no longer aborts: the search returns the best
+	// complete-so-far mapping and marks the stats truncated.
 	l1, l2, _ := fig1Logs()
 	pp, _ := BuildProblem(l1, l2, nil, ModeVertexEdge)
-	_, _, err := pp.AStar(Options{Bound: BoundSimple, MaxGenerated: 3})
-	if err != ErrBudgetExceeded {
-		t.Errorf("err = %v, want ErrBudgetExceeded", err)
+	m, st, err := pp.AStar(Options{Bound: BoundSimple, MaxGenerated: 3})
+	if err != nil {
+		t.Fatalf("err = %v, want anytime result", err)
+	}
+	if !st.Truncated || st.StopReason != StopMaxGenerated {
+		t.Errorf("stats = %+v, want Truncated with StopReason=%q", st, StopMaxGenerated)
+	}
+	if !m.Complete() {
+		t.Errorf("truncated mapping incomplete: %v", m)
 	}
 }
 

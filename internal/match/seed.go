@@ -35,7 +35,10 @@ const minSeedScore = 0.5
 // fragment disambiguate its neighbours through the dependency edges that
 // connect them, so the chain is resolved outward from the least ambiguous
 // fragment instead of in arbitrary declaration order.
-func (pr *Problem) seedFromPatterns(st *Stats) [][2]int {
+//
+// The stopper is polled inside the embedding enumeration; on a stop the
+// anchors committed so far are returned, keeping the phase anytime.
+func (pr *Problem) seedFromPatterns(st *Stats, stop *stopper) [][2]int {
 	var complexIdx []int
 	for i := range pr.patterns {
 		if pr.patterns[i].kind == KindComplex {
@@ -65,6 +68,9 @@ func (pr *Problem) seedFromPatterns(st *Stats) [][2]int {
 	remaining := append([]int(nil), complexIdx...)
 
 	for len(remaining) > 0 {
+		if _, halt := stop.now(st); halt {
+			break
+		}
 		// Restrict each round to the least order-symmetric patterns still
 		// pending: a pure SEQ's winning embedding identifies its events,
 		// whereas an AND's margin reflects only secondary evidence (any
@@ -99,7 +105,7 @@ func (pr *Problem) seedFromPatterns(st *Stats) [][2]int {
 			if pi.omega != minOmega {
 				continue // deferred to a later round
 			}
-			top, second, topAssign := ctx.bestEmbedding(pi, assigned, usedTarget, st)
+			top, second, topAssign := ctx.bestEmbedding(pi, assigned, usedTarget, st, stop)
 			if topAssign == nil {
 				next = next[:len(next)-1] // no viable embedding; pattern retired
 				continue
@@ -196,7 +202,7 @@ func (ctx *seedContext) massSim(v event.ID, x event.ID) float64 {
 // score (vertex/edge/mass evidence among the assignment and toward existing
 // anchors) ranks all embeddings; the pattern's own frequency contribution is
 // then evaluated for the top candidates only and gates acceptance.
-func (ctx *seedContext) bestEmbedding(pi *pinfo, assigned Mapping, usedTarget []bool, st *Stats) (best, second float64, bestAssign []int) {
+func (ctx *seedContext) bestEmbedding(pi *pinfo, assigned Mapping, usedTarget []bool, st *Stats, stop *stopper) (best, second float64, bestAssign []int) {
 	pr := ctx.pr
 	pg, local := patternIsoGraph(pi)
 	affected := pr.affectedOf(local)
@@ -209,6 +215,9 @@ func (ctx *seedContext) bestEmbedding(pi *pinfo, assigned Mapping, usedTarget []
 	count := 0
 	scratch := assigned.Clone()
 	isomorph.Enumerate(pg, ctx.target, false, func(m []int) bool {
+		if _, halt := stop.every(st); halt {
+			return false // abort enumeration; the anchors so far still hold
+		}
 		count++
 		for _, t := range m {
 			if usedTarget[t] {

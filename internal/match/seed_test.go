@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -53,7 +54,7 @@ func TestSeedFromPatternsAnchorsBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st Stats
-	seeds := pr.seedFromPatterns(&st)
+	seeds := pr.seedFromPatterns(&st, newStopper(context.Background(), Options{}, time.Now()))
 	if len(seeds) == 0 {
 		t.Fatal("no anchors committed")
 	}
@@ -83,7 +84,7 @@ func TestSeedFromPatternsNoComplexPatterns(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st Stats
-	if seeds := pr.seedFromPatterns(&st); seeds != nil {
+	if seeds := pr.seedFromPatterns(&st, newStopper(context.Background(), Options{}, time.Now())); seeds != nil {
 		t.Errorf("vertex+edge problems must not seed: %v", seeds)
 	}
 }
@@ -125,7 +126,7 @@ func TestRepairFixesSwappedPair(t *testing.T) {
 	m[a], m[x] = m[x], m[a]
 	before := pr.Distance(m)
 	var st Stats
-	pr.repair(m, &st, Options{}, time.Now())
+	pr.repair(m, &st, Options{}, newStopper(context.Background(), Options{}, time.Now()))
 	after := pr.Distance(m)
 	if after < before {
 		t.Errorf("repair decreased score: %v -> %v", before, after)

@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -114,9 +115,21 @@ func (pr *Problem) userPatterns() []*pattern.Pattern {
 // event left unmapped is greedily joined to the V1 event whose merged-event
 // interpretation raises the pattern normal distance the most, until no join
 // improves it. The Stats count each evaluated join as a generated mapping.
+// See ExtendOneToNContext.
 func (pr *Problem) ExtendOneToN(m Mapping, opts Options) (SetMapping, Stats, error) {
+	return pr.ExtendOneToNContext(context.Background(), m, opts)
+}
+
+// ExtendOneToNContext is ExtendOneToN under a caller context. The extension
+// is naturally anytime — the set mapping is valid after every committed
+// join — so on cancellation or budget exhaustion (polled per evaluated
+// join: each join evaluation rebuilds a problem and is far coarser than
+// checkEvery) the joins committed so far are returned with Stats.Truncated
+// set.
+func (pr *Problem) ExtendOneToNContext(ctx context.Context, m Mapping, opts Options) (SetMapping, Stats, error) {
 	start := time.Now()
 	var st Stats
+	stop := newStopper(ctx, opts, start)
 	if len(m) != pr.L1.NumEvents() {
 		return nil, st, errors.New("match: mapping length mismatch")
 	}
@@ -143,10 +156,8 @@ func (pr *Problem) ExtendOneToN(m Mapping, opts Options) (SetMapping, Stats, err
 		return nil, st, err
 	}
 	const eps = 1e-9
+sweep:
 	for len(unassigned) > 0 {
-		if opts.MaxDuration > 0 && time.Since(start) > opts.MaxDuration {
-			break
-		}
 		bestGain := eps
 		bestU := -1
 		bestV1 := -1
@@ -154,6 +165,9 @@ func (pr *Problem) ExtendOneToN(m Mapping, opts Options) (SetMapping, Stats, err
 			for v1 := 0; v1 < pr.L1.NumEvents(); v1++ {
 				if len(sm[v1]) == 0 {
 					continue // joining an unmapped source is meaningless
+				}
+				if _, halt := stop.now(&st); halt {
+					break sweep
 				}
 				st.Generated++
 				sm[v1] = append(sm[v1], u)
@@ -175,6 +189,10 @@ func (pr *Problem) ExtendOneToN(m Mapping, opts Options) (SetMapping, Stats, err
 		sm[bestV1] = append(sm[bestV1], unassigned[bestU])
 		unassigned = append(unassigned[:bestU], unassigned[bestU+1:]...)
 		current += bestGain
+	}
+	if reason, halt := stop.halted(); halt {
+		st.Truncated = true
+		st.StopReason = reason
 	}
 	st.Elapsed = time.Since(start)
 	st.Score = current

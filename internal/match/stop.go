@@ -1,0 +1,91 @@
+package match
+
+import (
+	"context"
+	"time"
+)
+
+// Stop reasons recorded in Stats.StopReason when a search truncates. They
+// name which budget ran out, so callers (and the eventmatch CLI's exit
+// codes) can distinguish a deadline from an explicit cancellation.
+const (
+	// StopDeadline: Options.MaxDuration elapsed.
+	StopDeadline = "deadline"
+	// StopCanceled: the caller's context was canceled (or its own deadline
+	// passed).
+	StopCanceled = "canceled"
+	// StopMaxGenerated: Options.MaxGenerated candidate mappings were
+	// processed.
+	StopMaxGenerated = "max-generated"
+	// StopMaxFrontier: the A* open list exceeded Options.MaxFrontier and was
+	// beam-pruned, so the search may have discarded the optimal branch.
+	StopMaxFrontier = "max-frontier"
+)
+
+// checkEvery is the number of candidate evaluations between wall-clock and
+// context polls in the search inner loops: frequent enough that a single
+// expensive round cannot overshoot MaxDuration badly, rare enough to keep
+// the polling itself off the profile.
+const checkEvery = 256
+
+// stopper polls a search's cancellation signals — caller context, wall-clock
+// deadline, and the generated-candidates budget — and remembers the first
+// reason it fired, so later phases of a multi-phase algorithm see a stable
+// verdict.
+type stopper struct {
+	ctx    context.Context
+	start  time.Time
+	max    time.Duration
+	maxGen int
+	n      int    // evaluations since the last time/context poll
+	reason string // first stop reason observed ("" while running)
+}
+
+func newStopper(ctx context.Context, opts Options, start time.Time) *stopper {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &stopper{ctx: ctx, start: start, max: opts.MaxDuration, maxGen: opts.MaxGenerated}
+}
+
+// now reports whether the search must stop, polling every signal.
+func (s *stopper) now(st *Stats) (string, bool) {
+	if s.reason != "" {
+		return s.reason, true
+	}
+	switch {
+	case s.maxGen > 0 && st.Generated >= s.maxGen:
+		s.reason = StopMaxGenerated
+	case s.ctx.Err() != nil:
+		s.reason = StopCanceled
+	case s.max > 0 && time.Since(s.start) > s.max:
+		s.reason = StopDeadline
+	default:
+		return "", false
+	}
+	return s.reason, true
+}
+
+// every is now at a 1/checkEvery cadence for hot inner loops; the cheap
+// generated-candidates budget is still enforced on every call.
+func (s *stopper) every(st *Stats) (string, bool) {
+	if s.reason != "" {
+		return s.reason, true
+	}
+	if s.maxGen > 0 && st.Generated >= s.maxGen {
+		s.reason = StopMaxGenerated
+		return s.reason, true
+	}
+	s.n++
+	if s.n < checkEvery {
+		return "", false
+	}
+	s.n = 0
+	return s.now(st)
+}
+
+// halted reports whether a previous poll already fired, without polling
+// again. Used after the work is done to decide whether the result must be
+// marked truncated: a deadline that expires only after the last piece of
+// work finished does not make the result partial.
+func (s *stopper) halted() (string, bool) { return s.reason, s.reason != "" }

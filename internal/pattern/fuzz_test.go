@@ -1,7 +1,10 @@
 package pattern
 
 import (
+	"strings"
 	"testing"
+
+	"eventmatch/internal/event"
 )
 
 // FuzzParse checks the pattern parser never panics and that everything it
@@ -36,6 +39,50 @@ func FuzzParse(f *testing.F) {
 		}
 		if e2.String() != rendered {
 			t.Fatalf("render not idempotent: %q -> %q", rendered, e2.String())
+		}
+	})
+}
+
+// FuzzParsePattern drives the full parse surface — Parse, ParseAll and
+// ParseBind against a small alphabet — asserting none of them panic on
+// arbitrary input and that accepted expressions round-trip through String.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{
+		"SEQ(A,B)",
+		"AND(A,B)\nSEQ(C,D)",
+		"# comment\nSEQ(A,AND(B,C))",
+		"SEQ(A,A)",
+		"SEQ(Z)",
+		"AND()",
+		"SEQ(A,AND(B,C),D) trailing",
+		"\x00\xff",
+		strings.Repeat("SEQ(", 64),
+	} {
+		f.Add(seed)
+	}
+	a := event.NewAlphabet("A", "B", "C", "D")
+	f.Fuzz(func(t *testing.T, src string) {
+		// None of these may panic, whatever the input.
+		if e, err := Parse(src); err == nil {
+			rendered := e.String()
+			if _, err := Parse(rendered); err != nil {
+				t.Fatalf("re-parse of rendered %q failed: %v", rendered, err)
+			}
+		}
+		if exprs, err := ParseAll(src); err == nil {
+			for _, e := range exprs {
+				if _, err := Parse(e.String()); err != nil {
+					t.Fatalf("re-parse of ParseAll output %q failed: %v", e.String(), err)
+				}
+			}
+		}
+		if p, err := ParseBind(src, a); err == nil {
+			if p == nil {
+				t.Fatal("ParseBind returned nil pattern without error")
+			}
+			if _, err := ParseBind(p.String(a), a); err != nil {
+				t.Fatalf("re-bind of rendered %q failed: %v", p.String(a), err)
+			}
 		}
 	})
 }
