@@ -1,0 +1,143 @@
+// Sequential-vs-parallel benchmarks for the worker-pool frequency engine
+// and the end-to-end matchers, plus the env-gated writer that records a
+// BENCH_parallel.json trajectory point (see EXPERIMENTS.md for the
+// methodology).
+package eventmatch_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"eventmatch/internal/gen"
+	"eventmatch/internal/match"
+	"eventmatch/internal/pattern"
+)
+
+// benchWorkers is the worker-count axis of every parallel benchmark.
+var benchWorkers = []int{1, 2, 4, 8}
+
+// freqWorkload builds the Fig. 12-scale frequency workload: a 50-event
+// synthetic log with several thousand traces and its complex patterns.
+func freqWorkload(b testing.TB) (*pattern.TraceIndex, []*pattern.Pattern) {
+	g := gen.LargeSynthetic(107, 5, 6000)
+	ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+	for _, src := range g.Patterns {
+		p, err := pattern.ParseBind(src, g.L1.Alphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		b.Fatal("no patterns in workload")
+	}
+	return pattern.NewTraceIndex(g.L1), ps
+}
+
+// BenchmarkFrequencyEngine measures one full pattern-set frequency
+// evaluation (uncached — the cold path every matcher pays) at each worker
+// count.
+func BenchmarkFrequencyEngine(b *testing.B) {
+	ix, ps := freqWorkload(b)
+	for _, w := range benchWorkers {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := pattern.NewEngine(ix, w)
+			for i := 0; i < b.N; i++ {
+				for _, p := range ps {
+					eng.Frequency(p)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchParallel measures the end-to-end advanced heuristic on the
+// 20-event synthetic workload at each worker count.
+func BenchmarkMatchParallel(b *testing.B) {
+	g := gen.LargeSynthetic(107, 2, 600)
+	ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+	for _, src := range g.Patterns {
+		p, err := pattern.ParseBind(src, g.L1.Alphabet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	for _, w := range benchWorkers {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pr, err := match.BuildProblem(g.L1, g.L2, ps, match.ModePattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pr.HeuristicAdvanced(match.Options{Bound: match.BoundSimple, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchPoint is one BENCH_parallel.json measurement.
+type benchPoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_1w"`
+}
+
+// TestWriteBenchParallel measures the frequency engine across worker counts
+// and writes BENCH_parallel.json. Gated behind WRITE_BENCH_PARALLEL=1 so
+// normal test runs stay fast; see EXPERIMENTS.md for the invocation.
+func TestWriteBenchParallel(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_PARALLEL") != "1" {
+		t.Skip("set WRITE_BENCH_PARALLEL=1 to (re)generate BENCH_parallel.json")
+	}
+	ix, ps := freqWorkload(t)
+	points := make([]benchPoint, 0, len(benchWorkers))
+	for _, w := range benchWorkers {
+		eng := pattern.NewEngine(ix, w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range ps {
+					eng.Frequency(p)
+				}
+			}
+		})
+		points = append(points, benchPoint{Workers: w, NsPerOp: float64(r.NsPerOp())})
+	}
+	for i := range points {
+		points[i].Speedup = points[0].NsPerOp / points[i].NsPerOp
+	}
+	out := struct {
+		Benchmark  string       `json:"benchmark"`
+		Workload   string       `json:"workload"`
+		Go         string       `json:"go"`
+		GOMAXPROCS int          `json:"gomaxprocs"`
+		NumCPU     int          `json:"num_cpu"`
+		Points     []benchPoint `json:"points"`
+		Note       string       `json:"note"`
+	}{
+		Benchmark:  "FrequencyEngine (uncached full pattern-set evaluation)",
+		Workload:   "gen.LargeSynthetic(107, 5, 6000): 50 events, 6000 traces, 8 complex patterns",
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Points:     points,
+		Note: "speedup_vs_1w is bounded by num_cpu: on a single-core machine the parallel engine " +
+			"can only demonstrate overhead-neutrality (~1x); rerun on a multi-core machine to " +
+			"observe scaling. Frequencies are bit-identical at every worker count.",
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_parallel.json: %s", data)
+}

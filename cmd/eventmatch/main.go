@@ -19,6 +19,9 @@
 //	-timeout    search budget (default 60s; 0 = unlimited)
 //	-max-frontier  beam-prune the exact search's frontier to this many nodes
 //	            (0 = unbounded)
+//	-workers    parallelize the search and its frequency scans across this
+//	            many goroutines (default 0 = one per CPU; 1 = sequential);
+//	            the result is identical for every value
 //	-lenient    skip malformed log rows/events instead of failing; skips are
 //	            reported on stderr
 //	-stats      print search statistics
@@ -45,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"syscall"
 	"time"
@@ -74,6 +78,7 @@ type cliOptions struct {
 	patternsFile string
 	timeout      time.Duration
 	maxFrontier  int
+	workers      int
 	lenient      bool
 	stats        bool
 	dotFile      string
@@ -85,6 +90,7 @@ func main() {
 	flag.StringVar(&o.patternsFile, "patterns", "", "file of complex patterns over LOG1's events")
 	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "search budget (0 = unlimited)")
 	flag.IntVar(&o.maxFrontier, "max-frontier", 0, "beam-prune the exact frontier to this many nodes (0 = unbounded)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel search goroutines (0 = one per CPU, 1 = sequential)")
 	flag.BoolVar(&o.lenient, "lenient", false, "skip malformed log rows/events instead of failing")
 	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
 	flag.StringVar(&o.dotFile, "dot", "", "write a Graphviz mapping rendering to this file")
@@ -108,6 +114,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eventmatch:", err)
 	}
 	os.Exit(exitCode(truncated, err))
+}
+
+// cliWorkers maps the flag convention (0 = one per CPU) to a concrete
+// worker count (the library treats 0/1 as sequential).
+func cliWorkers(flagValue int) int {
+	if flagValue == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return flagValue
 }
 
 // exitCode maps a run outcome to the documented exit codes.
@@ -160,6 +175,7 @@ func run(ctx context.Context, path1, path2 string, o cliOptions) (truncated bool
 		Patterns:    patterns,
 		MaxDuration: o.timeout,
 		MaxFrontier: o.maxFrontier,
+		Workers:     cliWorkers(o.workers),
 	})
 	if err != nil {
 		return false, err
@@ -202,6 +218,7 @@ func readLog(path string, o cliOptions) (l *eventmatch.Log, skipped bool, err er
 		Lenient:     true,
 		MaxTraceLen: lenientMaxTraceLen,
 		MaxLogBytes: lenientMaxLogBytes,
+		Workers:     cliWorkers(o.workers),
 	})
 	if err != nil {
 		return nil, false, err

@@ -99,6 +99,33 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestRunWithWorkers(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	for _, workers := range []int{0, 1, 8} { // 0 = one per CPU
+		o := opts("heuristic-advanced", pats, false, "")
+		o.workers = workers
+		truncated, err := run(context.Background(), l1, l2, o)
+		if err != nil {
+			t.Errorf("workers=%d: %v", workers, err)
+		}
+		if truncated {
+			t.Errorf("workers=%d: clean run must not report truncation", workers)
+		}
+	}
+}
+
+func TestCliWorkers(t *testing.T) {
+	if got := cliWorkers(0); got < 1 {
+		t.Errorf("cliWorkers(0) = %d, want >= 1 (one per CPU)", got)
+	}
+	if got := cliWorkers(1); got != 1 {
+		t.Errorf("cliWorkers(1) = %d, want 1", got)
+	}
+	if got := cliWorkers(8); got != 8 {
+		t.Errorf("cliWorkers(8) = %d, want 8", got)
+	}
+}
+
 func TestRunCanceledContextStillPrintsBestSoFar(t *testing.T) {
 	l1, l2, pats := writeDemoLogs(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"eventmatch/internal/baseline"
@@ -152,6 +153,26 @@ type Config struct {
 	// cannot prove optimality, so its result is marked truncated. Only the
 	// exact algorithms use it.
 	MaxFrontier int
+
+	// Workers parallelizes the search across this many goroutines:
+	// candidate expansions (A*), candidate scorings (the advanced
+	// heuristic) and the underlying pattern-frequency trace scans are
+	// sharded over a worker pool. 0 or 1 runs fully sequentially; a
+	// negative value selects one worker per available CPU. The mapping and
+	// score are identical for every value — parallel candidates are laid
+	// out and selected in the sequential order — so Workers trades nothing
+	// but goroutines for wall-clock time. Only the pattern-based
+	// algorithms (exact, heuristics) use it.
+	Workers int
+}
+
+// resolveWorkers maps the public Workers convention (negative = one per
+// CPU) to the internal one (a concrete count; 0/1 = sequential).
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // Result is a completed matching.
@@ -226,6 +247,7 @@ func MatchContext(ctx context.Context, l1, l2 *Log, cfg Config) (*Result, error)
 		MaxDuration:  cfg.MaxDuration,
 		MaxGenerated: cfg.MaxGenerated,
 		MaxFrontier:  cfg.MaxFrontier,
+		Workers:      resolveWorkers(cfg.Workers),
 	}
 	var (
 		m  Mapping
@@ -449,6 +471,7 @@ func MatchOneToNContext(ctx context.Context, l1, l2 *Log, cfg Config) (*SetResul
 	sm, st, err := pr.ExtendOneToNContext(ctx, base.Mapping, match.Options{
 		MaxDuration:  cfg.MaxDuration,
 		MaxGenerated: cfg.MaxGenerated,
+		Workers:      resolveWorkers(cfg.Workers),
 	})
 	if err != nil {
 		return nil, err

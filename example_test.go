@@ -41,6 +41,43 @@ func ExampleMatch() {
 	// Ship -> FH
 }
 
+// Config.Workers parallelizes the search and its pattern-frequency scans
+// across a worker pool. The result is identical for every worker count —
+// candidates are laid out and selected in the sequential order and the
+// trace-shard partial counts are integers merged by summation — so a
+// parallel run can be compared field-for-field against a sequential one.
+func ExampleMatch_workers() {
+	dept1 := eventmatch.LogFromStrings(
+		"Receive Pay Check Ship",
+		"Receive Check Pay Ship",
+		"Receive Pay Check Ship",
+	)
+	dept2 := eventmatch.LogFromStrings(
+		"SD FK KC FH",
+		"SD KC FK FH",
+		"SD FK KC FH",
+	)
+	cfg := eventmatch.Config{
+		Patterns: []string{"SEQ(Receive,AND(Pay,Check),Ship)"},
+	}
+	sequential, err := eventmatch.Match(dept1, dept2, cfg)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Workers = 8 // or -1 for one worker per CPU
+	parallel, err := eventmatch.Match(dept1, dept2, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same score:", parallel.Score == sequential.Score)
+	fmt.Println("same pairs:", len(parallel.Pairs) == len(sequential.Pairs))
+	fmt.Println("Pay ->", parallel.Pairs["Pay"])
+	// Output:
+	// same score: true
+	// same pairs: true
+	// Pay -> FK
+}
+
 // Pattern frequency is the fraction of traces containing a contiguous
 // instance of the pattern (Definition 4/5 of the paper).
 func ExamplePatternFrequency() {

@@ -1,0 +1,67 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomLog(seed int64, nEvents, traces, maxLen int) *Log {
+	rng := rand.New(rand.NewSource(seed))
+	l := NewLog()
+	for i := 0; i < nEvents; i++ {
+		l.Alphabet.Intern(string(rune('A'+i%26)) + string(rune('0'+i/26)))
+	}
+	for i := 0; i < traces; i++ {
+		t := make(Trace, 1+rng.Intn(maxLen))
+		for j := range t {
+			t[j] = ID(rng.Intn(nEvents))
+		}
+		l.Append(t)
+	}
+	return l
+}
+
+// TestParallelFrequencyMatchesSequential: integer partial counts merged by
+// summation must reproduce the sequential result bit-for-bit.
+func TestParallelFrequencyMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		nEvents int
+		traces  int
+	}{
+		{"empty", 3, 0},
+		{"tiny", 4, 10},
+		{"unbalanced", 6, 1025},
+		{"large", 20, 8000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := randomLog(7, tc.nEvents, tc.traces, 15)
+			want := l.Frequency()
+			for _, workers := range []int{1, 2, 4, 8, 100} {
+				got := l.ParallelFrequency(workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: length %d, want %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("workers=%d: freq[%d] = %v, want %v", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSummarizeMatchesSequential: shard-merged statistics must equal
+// the one-pass result.
+func TestParallelSummarizeMatchesSequential(t *testing.T) {
+	for _, traces := range []int{0, 1, 999, 5000} {
+		l := randomLog(9, 12, traces, 30)
+		want := l.Summarize()
+		for _, workers := range []int{1, 2, 4, 8} {
+			if got := l.ParallelSummarize(workers); got != want {
+				t.Errorf("traces=%d workers=%d: %+v, want %+v", traces, workers, got, want)
+			}
+		}
+	}
+}

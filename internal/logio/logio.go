@@ -10,6 +10,11 @@
 // The matcher itself is format-agnostic; these readers exist because the
 // paper's setting (heterogeneous enterprise event logs) implies ingesting
 // logs from whatever shape each source system emits.
+//
+// The trace-lines reader can tokenize lines on a worker pool
+// (ReadOptions.Workers); assembly stays sequential, so the resulting log,
+// report and errors are identical to a sequential read. The CSV and XES
+// readers are stream-stateful and always sequential.
 package logio
 
 import (
@@ -35,7 +40,12 @@ func ReadTraceLines(r io.Reader) (*event.Log, error) {
 // ReadTraceLinesReport is ReadTraceLines with fault tolerance and resource
 // guards. In lenient mode oversized traces are skipped and a byte-limit hit
 // keeps the traces parsed so far; both are recorded in the report.
+// ReadOptions.Workers > 1 shards the per-line tokenization across that many
+// goroutines; the result is identical to the sequential read.
 func ReadTraceLinesReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error) {
+	if opts.Workers > 1 {
+		return readTraceLinesParallel(r, opts)
+	}
 	var rep ReadReport
 	l := event.NewLog()
 	br := bufio.NewReader(guardReader(r, opts))

@@ -1,0 +1,71 @@
+package logio
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// buildTraceLines produces a trace-lines document with comments, blanks,
+// ragged whitespace and a few oversized traces mixed in.
+func buildTraceLines(lines int) string {
+	var b strings.Builder
+	b.WriteString("# generated fixture\n")
+	for i := 0; i < lines; i++ {
+		switch i % 7 {
+		case 2:
+			b.WriteString("\n")
+		case 4:
+			b.WriteString("  # comment\n")
+		case 5:
+			// Oversized under MaxTraceLen=8.
+			for j := 0; j < 9; j++ {
+				fmt.Fprintf(&b, " ev%d", j)
+			}
+			b.WriteString("\n")
+		default:
+			fmt.Fprintf(&b, "  a%d \t b%d  c%d\n", i%13, (i+1)%13, (i+2)%13)
+		}
+	}
+	return b.String()
+}
+
+// TestReadTraceLinesParallelMatchesSequential: the Workers > 1 reader must
+// produce the identical log, report and errors as the sequential one, with
+// and without limits, in both modes.
+func TestReadTraceLinesParallelMatchesSequential(t *testing.T) {
+	doc := buildTraceLines(500)
+	for _, base := range []ReadOptions{
+		{},
+		{Lenient: true, MaxTraceLen: 8},
+		{Lenient: true, MaxTraceLen: 8, MaxLogBytes: int64(len(doc) / 2)},
+		{MaxTraceLen: 8},
+	} {
+		seqLog, seqRep, seqErr := ReadTraceLinesReport(strings.NewReader(doc), base)
+		for _, workers := range []int{2, 8} {
+			opts := base
+			opts.Workers = workers
+			parLog, parRep, parErr := ReadTraceLinesReport(strings.NewReader(doc), opts)
+			label := fmt.Sprintf("opts=%+v", opts)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("%s: err %v sequential vs %v parallel", label, seqErr, parErr)
+			}
+			if seqErr != nil && seqErr.Error() != parErr.Error() {
+				t.Errorf("%s: err %q sequential vs %q parallel", label, seqErr, parErr)
+			}
+			if !reflect.DeepEqual(seqRep, parRep) {
+				t.Errorf("%s: report %+v sequential vs %+v parallel", label, seqRep, parRep)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(seqLog.Alphabet.Names(), parLog.Alphabet.Names()) {
+				t.Errorf("%s: alphabets differ", label)
+			}
+			if !reflect.DeepEqual(seqLog.Traces, parLog.Traces) {
+				t.Errorf("%s: traces differ", label)
+			}
+		}
+	}
+}

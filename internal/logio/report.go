@@ -29,6 +29,11 @@ type ReadOptions struct {
 	// MaxErrors caps how many ParseErrors the report retains (the error
 	// *count* keeps running). 0 means DefaultMaxErrors.
 	MaxErrors int
+	// Workers shards the tokenization of trace lines across this many
+	// goroutines (trace-lines format only; the CSV and XES decoders are
+	// inherently stream-stateful). 0 or 1 reads sequentially. The produced
+	// log and report are identical for every value.
+	Workers int
 }
 
 func (o ReadOptions) maxErrors() int {

@@ -32,6 +32,7 @@ func (pr *Problem) HeuristicAdvancedContext(ctx context.Context, opts Options) (
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
+	pr.applyWorkers(opts)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	n := n1
 	if n2 > n {
@@ -78,6 +79,22 @@ rounds:
 	for round := 0; round < n; round++ {
 		if _, halt := stop.now(&st); halt {
 			break
+		}
+		if opts.Workers > 1 {
+			// Parallel round: trees and candidate scores are computed by the
+			// worker pool, the winning candidate is selected in sequential
+			// order, so the committed matching is identical to the
+			// sequential round for every worker count.
+			res := pr.parallelRound(theta, lx, ly, matchX, matchY, n1, n2, &st, opts, stop)
+			if res.halted {
+				break rounds
+			}
+			if res.done {
+				break
+			}
+			matchX, matchY = res.matchX, res.matchY
+			lx, ly = res.lx, res.ly
+			continue
 		}
 		type candidate struct {
 			score          float64

@@ -37,6 +37,15 @@ type Options struct {
 	// a pruned search marks its result Stats.Truncated. 0 means unlimited.
 	MaxFrontier int
 
+	// Workers sets the parallel evaluation width: candidate expansions in
+	// A* and candidate scorings in HeuristicAdvanced are sharded across
+	// this many goroutines, and the problem's frequency cache scans traces
+	// with the same pool. 0 or 1 runs fully sequentially. Results are
+	// deterministic and identical to sequential mode for every value
+	// (candidates are laid out and selected in sequential order; only
+	// wall-clock-dependent truncation points can differ).
+	Workers int
+
 	// Ablation switches (all false in normal operation).
 
 	// NaiveOrder expands V1 events in id order instead of the §3.1
@@ -113,6 +122,7 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
+	pr.applyWorkers(opts)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
 	if n2 < depthGoal {
@@ -148,17 +158,53 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 		}
 		st.Expanded++
 		a := pr.expandEvent(cur.depth, opts)
-		for b := 0; b < n2; b++ {
-			if cur.used[b] {
-				continue
+		if opts.Workers > 1 {
+			// Parallel successor expansion: compute all children of cur at
+			// once, then push them in target order so the heap evolves
+			// exactly as in the sequential loop. The MaxGenerated budget is
+			// applied up front by truncating the target list to what the
+			// sequential loop would have generated before halting.
+			targets := make([]event.ID, 0, n2-cur.depth)
+			for b := 0; b < n2; b++ {
+				if !cur.used[b] {
+					targets = append(targets, event.ID(b))
+				}
 			}
-			if reason, halt := stop.every(&st); halt {
+			truncated := false
+			if opts.MaxGenerated > 0 {
+				if rem := opts.MaxGenerated - st.Generated; rem < len(targets) {
+					if rem < 0 {
+						rem = 0
+					}
+					targets = targets[:rem]
+					truncated = true
+				}
+			}
+			for _, child := range pr.expandBatch(cur, a, targets, opts.Bound, opts.Workers) {
+				st.Generated++
+				heap.Push(q, child)
+			}
+			if truncated {
+				reason, _ := stop.every(&st) // records StopMaxGenerated
 				heap.Push(q, cur)
 				return pr.truncateAStar(q, opts, &st, reason, start)
 			}
-			st.Generated++
-			child := pr.expand(cur, a, event.ID(b), opts.Bound)
-			heap.Push(q, child)
+			// Deadline/cancellation are polled at the next pop (the loop-top
+			// stop.now), the same place the sequential path lands after a
+			// fully expanded node.
+		} else {
+			for b := 0; b < n2; b++ {
+				if cur.used[b] {
+					continue
+				}
+				if reason, halt := stop.every(&st); halt {
+					heap.Push(q, cur)
+					return pr.truncateAStar(q, opts, &st, reason, start)
+				}
+				st.Generated++
+				child := pr.expand(cur, a, event.ID(b), opts.Bound)
+				heap.Push(q, child)
+			}
 		}
 		if opts.MaxFrontier > 0 && q.Len() > opts.MaxFrontier {
 			pruneFrontier(q, opts.MaxFrontier)

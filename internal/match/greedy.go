@@ -27,6 +27,7 @@ func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mappi
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
+	pr.applyWorkers(opts) // search stays sequential; trace scans use the pool
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
 	if n2 < depthGoal {

@@ -1,0 +1,174 @@
+package match
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eventmatch/internal/event"
+)
+
+// applyWorkers propagates Options.Workers to the problem's frequency cache,
+// so uncached trace scans (the hottest leaf of every score evaluation) use
+// the same worker pool as the search. Trace-shard merging is order-
+// independent, so this never changes a frequency value.
+func (pr *Problem) applyWorkers(opts Options) {
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	pr.fc2.SetWorkers(w)
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines, handing out indices through an atomic counter. It returns only
+// after every index has been processed. fn must be safe for concurrent
+// invocation; results are communicated by writing to index i of a
+// caller-owned slice, so no two invocations touch the same element and the
+// final layout is independent of scheduling.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// roundResult carries the outcome of one parallel augmentation round of
+// HeuristicAdvanced.
+type roundResult struct {
+	matchX, matchY []int
+	lx, ly         []float64
+	done           bool // no augmenting candidate exists: the matching is complete
+	halted         bool // a budget fired mid-round: discard the round, break out
+}
+
+// parallelRound runs one augmentation round of HeuristicAdvancedContext with
+// the worker pool: phase 1 grows the maximal alternating tree of every
+// unmatched row concurrently (alternatingTree is a pure function of the
+// round's shared state), phase 2 sequentially flattens the (row, free
+// column) candidates in the §3.1 row order and charges the
+// generated-candidates budget exactly as the sequential loop would, and
+// phase 3 scores every surviving candidate concurrently. The winner is the
+// first candidate attaining the maximum score in sequential order — the
+// same one the sequential strict-improvement scan commits — so the round is
+// deterministic for every worker count. Only wall-clock truncation points
+// can differ: workers poll the deadline/cancellation signals per candidate
+// and, like the sequential loop, discard the interrupted round.
+func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, matchY []int, n1, n2 int, st *Stats, opts Options, stop *stopper) roundResult {
+	n := len(lx)
+	var rows []int
+	for _, u := range pr.rowOrder(n) {
+		if matchX[u] == -1 {
+			rows = append(rows, u)
+		}
+	}
+	if len(rows) == 0 {
+		return roundResult{done: true}
+	}
+
+	type tree struct {
+		lx, ly   []float64
+		way      []int
+		freeCols []int
+	}
+	trees := make([]tree, len(rows))
+	parallelFor(opts.Workers, len(rows), func(i int) {
+		tlx, tly, way, freeCols := alternatingTree(rows[i], theta, lx, ly, matchX, matchY)
+		trees[i] = tree{tlx, tly, way, freeCols}
+	})
+
+	type task struct {
+		row, endCol int // row indexes rows/trees
+	}
+	var tasks []task
+	halted := false
+	for ri := range rows {
+		st.Expanded++
+		for _, endCol := range trees[ri].freeCols {
+			if opts.MaxGenerated > 0 && st.Generated >= opts.MaxGenerated {
+				halted = true
+				break
+			}
+			st.Generated++
+			tasks = append(tasks, task{ri, endCol})
+		}
+		if halted {
+			break
+		}
+	}
+	if halted {
+		stop.now(st) // records StopMaxGenerated
+		return roundResult{halted: true}
+	}
+	if len(tasks) == 0 {
+		return roundResult{done: true}
+	}
+
+	scores := make([]float64, len(tasks))
+	var stopFlag atomic.Bool
+	parallelFor(opts.Workers, len(tasks), func(i int) {
+		if stopFlag.Load() {
+			return
+		}
+		if stop.ctx.Err() != nil || (stop.max > 0 && time.Since(stop.start) > stop.max) {
+			stopFlag.Store(true)
+			return
+		}
+		t := tasks[i]
+		mx := append([]int(nil), matchX...)
+		my := append([]int(nil), matchY...)
+		augment(mx, my, trees[t.row].way, t.endCol)
+		scores[i] = pr.scorePadded(mx, n1, n2, opts.Bound)
+	})
+	if stopFlag.Load() {
+		stop.now(st) // records the reason the workers observed
+		return roundResult{halted: true}
+	}
+
+	best := 0
+	for i := 1; i < len(tasks); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	t := tasks[best]
+	mx := append([]int(nil), matchX...)
+	my := append([]int(nil), matchY...)
+	augment(mx, my, trees[t.row].way, t.endCol)
+	return roundResult{matchX: mx, matchY: my, lx: trees[t.row].lx, ly: trees[t.row].ly}
+}
+
+// expandBatch computes the children of cur for every target in order,
+// sharding the per-child work (incremental g via newly completed patterns,
+// plus the h bound) across the worker pool. children[i] corresponds to
+// targets[i], so the caller can push them onto the frontier in exactly the
+// order the sequential loop would have — the resulting heap state is
+// bit-identical for every worker count.
+func (pr *Problem) expandBatch(cur *node, a event.ID, targets []event.ID, bound BoundKind, workers int) []*node {
+	children := make([]*node, len(targets))
+	parallelFor(workers, len(targets), func(i int) {
+		children[i] = pr.expand(cur, a, targets[i], bound)
+	})
+	return children
+}

@@ -1,0 +1,215 @@
+package pattern
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel evaluation parameters.
+const (
+	// minParallelTraces is the candidate-list size below which a frequency
+	// scan stays sequential: sharding a handful of traces costs more in
+	// goroutine startup and cache traffic than the scan itself.
+	minParallelTraces = 256
+
+	// cancelCheckEvery is how many traces a scan worker processes between
+	// context polls. Polling is cheap (an atomic load) but not free; this
+	// keeps it off the profile while bounding how far a canceled scan runs.
+	cancelCheckEvery = 512
+)
+
+// Engine evaluates pattern frequencies over an indexed log with a pool of
+// worker goroutines. The parallel grain is the trace (the natural
+// decomposition unit for log computations): the candidate trace list of a
+// pattern is sharded into contiguous chunks, each worker counts matches in
+// its chunk, and the integer partial counts are summed at the end — integer
+// addition is associative and commutative, so the merged frequency is
+// bit-identical to the sequential scan regardless of worker scheduling.
+//
+// An Engine is safe for concurrent use. The worker count may be changed at
+// any time with SetWorkers; 1 forces fully sequential evaluation (no
+// goroutines are spawned at all).
+type Engine struct {
+	ix      *TraceIndex
+	workers atomic.Int32
+}
+
+// NewEngine wraps a trace index with a frequency evaluator using the given
+// number of workers. workers <= 0 selects one worker per available CPU
+// (runtime.GOMAXPROCS); workers == 1 is fully sequential.
+func NewEngine(ix *TraceIndex, workers int) *Engine {
+	e := &Engine{ix: ix}
+	e.SetWorkers(workers)
+	return e
+}
+
+// SetWorkers changes the worker-pool size. n <= 0 selects GOMAXPROCS.
+// Safe to call concurrently with evaluations; in-flight scans keep the
+// worker count they started with.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers.Store(int32(n))
+}
+
+// Workers reports the current worker-pool size.
+func (e *Engine) Workers() int { return int(e.workers.Load()) }
+
+// Index returns the underlying trace index.
+func (e *Engine) Index() *TraceIndex { return e.ix }
+
+// Frequency computes f(p) over the indexed log; the uncancellable
+// convenience form of FrequencyContext.
+func (e *Engine) Frequency(p *Pattern) float64 {
+	f, _ := e.FrequencyContext(context.Background(), p)
+	return f
+}
+
+// FrequencyContext computes f(p) over the indexed log, scanning only the
+// traces that contain all of p's events, sharded across the engine's
+// workers. On cancellation mid-scan it returns (0, ctx.Err()); a completed
+// scan is never affected by a cancellation that arrives after its last
+// trace. The returned frequency is identical to TraceIndex.Frequency for
+// every worker count.
+func (e *Engine) FrequencyContext(ctx context.Context, p *Pattern) (float64, error) {
+	total := e.ix.log.NumTraces()
+	if total == 0 {
+		return 0, ctx.Err()
+	}
+	n, err := e.countMatches(ctx, p, e.ix.Candidates(p.Events()))
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) / float64(total), nil
+}
+
+// Frequencies evaluates f(p) for a batch of patterns, parallelizing across
+// patterns (each pattern's own scan stays sequential — one level of
+// parallelism, at the widest available grain). out[i] corresponds to ps[i],
+// so the result layout is deterministic. On cancellation it returns
+// (nil, ctx.Err()).
+func (e *Engine) Frequencies(ctx context.Context, ps []*Pattern) ([]float64, error) {
+	out := make([]float64, len(ps))
+	w := e.Workers()
+	if w > len(ps) {
+		w = len(ps)
+	}
+	if w <= 1 {
+		for i, p := range ps {
+			n, err := e.countRange(ctx, p, e.ix.Candidates(p.Events()), nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = e.normalize(n)
+		}
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		canceled atomic.Bool
+		wg       sync.WaitGroup
+	)
+	errs := make([]error, w)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) || canceled.Load() {
+					return
+				}
+				n, err := e.countRange(ctx, ps[i], e.ix.Candidates(ps[i].Events()), &canceled)
+				if err != nil {
+					errs[g] = err
+					canceled.Store(true)
+					return
+				}
+				out[i] = e.normalize(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) normalize(count int) float64 {
+	if total := e.ix.log.NumTraces(); total > 0 {
+		return float64(count) / float64(total)
+	}
+	return 0
+}
+
+// countMatches counts the candidate traces matching p, sharding the
+// candidate list across workers when it is large enough to pay off.
+func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (int, error) {
+	w := e.Workers()
+	if w <= 1 || len(cand) < minParallelTraces {
+		return e.countRange(ctx, p, cand, nil)
+	}
+	if max := len(cand) / (minParallelTraces / 2); w > max {
+		w = max // keep every shard at a meaningful size
+	}
+	chunk := (len(cand) + w - 1) / w
+	counts := make([]int, w)
+	errs := make([]error, w)
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > len(cand) {
+			hi = len(cand)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g int, part []int32) {
+			defer wg.Done()
+			counts[g], errs[g] = e.countRange(ctx, p, part, &canceled)
+		}(g, cand[lo:hi])
+	}
+	wg.Wait()
+	n := 0
+	for g := 0; g < w; g++ {
+		if errs[g] != nil {
+			return 0, errs[g]
+		}
+		n += counts[g]
+	}
+	return n, nil
+}
+
+// countRange counts the matches of p among the given candidate traces,
+// polling ctx every cancelCheckEvery traces. canceled, when non-nil, is a
+// flag shared with sibling shards so one observed cancellation stops all of
+// them without each paying the context poll.
+func (e *Engine) countRange(ctx context.Context, p *Pattern, cand []int32, canceled *atomic.Bool) (int, error) {
+	n := 0
+	for i, ti := range cand {
+		if i%cancelCheckEvery == 0 {
+			if canceled != nil && canceled.Load() {
+				return 0, context.Canceled
+			}
+			if err := ctx.Err(); err != nil {
+				if canceled != nil {
+					canceled.Store(true)
+				}
+				return 0, err
+			}
+		}
+		if p.MatchesTrace(e.ix.log.Traces[ti]) {
+			n++
+		}
+	}
+	return n, nil
+}

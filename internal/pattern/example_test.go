@@ -1,0 +1,59 @@
+package pattern_test
+
+import (
+	"context"
+	"fmt"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/pattern"
+)
+
+// Parsing is separate from binding: a pattern file is parsed once into
+// name-based expressions and then bound to each log's alphabet.
+func ExampleParse() {
+	expr, err := pattern.Parse("SEQ(Receive, AND(Payment, Check), Ship)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(expr)
+
+	l := event.FromStrings(
+		"Receive Payment Check Ship",
+		"Receive Check Payment Ship",
+		"Receive Ship",
+	)
+	p, err := expr.Bind(l.Alphabet)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("f(p) = %.2f\n", p.Frequency(l))
+	// Output:
+	// SEQ(Receive,AND(Payment,Check),Ship)
+	// f(p) = 0.67
+}
+
+// The Engine evaluates the same frequencies as TraceIndex.Frequency, with
+// the trace scan sharded across a worker pool; partial counts are integers
+// merged by summation, so the result is bit-identical for every worker
+// count.
+func ExampleEngine() {
+	l := event.FromStrings(
+		"A D B C",
+		"C A D B",
+		"A D",
+		"B C",
+	)
+	ix := pattern.NewTraceIndex(l)
+	p := pattern.MustSeq(pattern.Single(l.Alphabet.Lookup("A")), pattern.Single(l.Alphabet.Lookup("D")))
+
+	eng := pattern.NewEngine(ix, 4)
+	f, err := eng.FrequencyContext(context.Background(), p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parallel   f(SEQ(A,D)) = %.2f\n", f)
+	fmt.Printf("sequential f(SEQ(A,D)) = %.2f\n", ix.Frequency(p))
+	// Output:
+	// parallel   f(SEQ(A,D)) = 0.75
+	// sequential f(SEQ(A,D)) = 0.75
+}

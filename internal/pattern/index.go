@@ -1,7 +1,10 @@
 package pattern
 
 import (
+	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"eventmatch/internal/event"
 )
@@ -157,36 +160,101 @@ func (ix *TraceIndex) Frequency(p *Pattern) float64 {
 	return float64(n) / float64(total)
 }
 
-// FrequencyCache memoizes pattern frequencies keyed by the pattern's order
-// signature, on top of a TraceIndex. The same mapped pattern is often
-// re-evaluated many times during A* search; caching makes that cheap.
-type FrequencyCache struct {
-	ix    *TraceIndex
-	cache map[string]float64
-	hits  int
-	miss  int
+// cacheShards is the number of independently locked segments of a
+// FrequencyCache. 32 keeps lock contention negligible for any realistic
+// worker count while the per-shard maps stay dense.
+const cacheShards = 32
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]float64
 }
 
-// NewFrequencyCache wraps a trace index with a frequency memo table.
+// FrequencyCache memoizes pattern frequencies keyed by the pattern's order
+// signature, on top of a frequency Engine. The same mapped pattern is often
+// re-evaluated many times during A* search; caching makes that cheap.
+//
+// The cache is safe for concurrent use: the memo table is split into
+// cacheShards segments each guarded by its own mutex (keys are distributed
+// by FNV-1a hash), and the hit/miss counters are atomics.
+type FrequencyCache struct {
+	eng    *Engine
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	miss   atomic.Int64
+}
+
+// NewFrequencyCache wraps a trace index with a frequency memo table using a
+// sequential (single-worker) evaluation engine.
 func NewFrequencyCache(ix *TraceIndex) *FrequencyCache {
-	return &FrequencyCache{ix: ix, cache: make(map[string]float64)}
+	return NewFrequencyCacheEngine(NewEngine(ix, 1))
+}
+
+// NewFrequencyCacheEngine wraps a frequency engine with a memo table,
+// inheriting the engine's worker-pool size for uncached evaluations.
+func NewFrequencyCacheEngine(eng *Engine) *FrequencyCache {
+	c := &FrequencyCache{eng: eng}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]float64)
+	}
+	return c
+}
+
+// SetWorkers changes the worker-pool size used for uncached evaluations.
+// n <= 0 selects GOMAXPROCS; 1 is fully sequential.
+func (c *FrequencyCache) SetWorkers(n int) { c.eng.SetWorkers(n) }
+
+// Engine returns the underlying frequency engine.
+func (c *FrequencyCache) Engine() *Engine { return c.eng }
+
+// shardOf distributes a cache key over the shards by FNV-1a hash.
+func shardOf(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % cacheShards)
 }
 
 // Frequency returns f(p), consulting the cache first.
 func (c *FrequencyCache) Frequency(p *Pattern) float64 {
-	key := signature(p)
-	if f, ok := c.cache[key]; ok {
-		c.hits++
-		return f
-	}
-	c.miss++
-	f := c.ix.Frequency(p)
-	c.cache[key] = f
+	f, _ := c.FrequencyContext(context.Background(), p)
 	return f
 }
 
+// FrequencyContext returns f(p), consulting the cache first. A cancellation
+// observed mid-scan returns (0, ctx.Err()) and leaves the cache untouched —
+// partial scans are never memoized.
+func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (float64, error) {
+	key := signature(p)
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	f, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return f, nil
+	}
+	c.miss.Add(1)
+	f, err := c.eng.FrequencyContext(ctx, p)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	sh.m[key] = f
+	sh.mu.Unlock()
+	return f, nil
+}
+
 // Stats reports cache hits and misses.
-func (c *FrequencyCache) Stats() (hits, misses int) { return c.hits, c.miss }
+func (c *FrequencyCache) Stats() (hits, misses int) {
+	return int(c.hits.Load()), int(c.miss.Load())
+}
 
 // signature produces a canonical string for the pattern structure + events,
 // suitable as a cache key.

@@ -9,6 +9,13 @@
 // a pattern instance, so a trace matches p iff some contiguous window of
 // length |p| is one of the allowed orderings I(p). All events in a pattern
 // are distinct, which the constructors enforce.
+//
+// Frequency evaluation is served by three layers: TraceIndex (the inverted
+// trace index It of Section 3.2.3, which narrows the scan to candidate
+// traces), Engine (a worker pool that shards the candidate scan across
+// goroutines with bit-identical results at every worker count), and
+// FrequencyCache (a sharded, concurrency-safe memo keyed by pattern
+// signature). PatternIndex is the pattern index Ip of Section 3.2.1.
 package pattern
 
 import (
