@@ -27,6 +27,12 @@
 //	-stats      print search statistics
 //	-dot FILE   write a Graphviz rendering of both dependency graphs with
 //	            the discovered correspondence to FILE
+//	-metrics-json FILE  write the run's telemetry snapshot (search effort,
+//	            cache hits/misses, ingestion counters) to FILE as JSON
+//	-pprof ADDR serve net/http/pprof and an expvar telemetry snapshot on
+//	            ADDR (e.g. localhost:6060) for the duration of the run
+//	-progress DUR  print a one-line telemetry summary to stderr every DUR
+//	            (e.g. 2s) while the search runs
 //
 // The search is anytime: on timeout, frontier pruning, or an interrupt
 // (SIGINT/SIGTERM) the best complete mapping found so far is still printed,
@@ -46,6 +52,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +64,7 @@ import (
 	"eventmatch"
 	"eventmatch/internal/depgraph"
 	"eventmatch/internal/pattern"
+	"eventmatch/internal/telemetry"
 	"eventmatch/internal/viz"
 )
 
@@ -82,6 +91,9 @@ type cliOptions struct {
 	lenient      bool
 	stats        bool
 	dotFile      string
+	metricsJSON  string
+	pprofAddr    string
+	progress     time.Duration
 }
 
 func main() {
@@ -94,6 +106,9 @@ func main() {
 	flag.BoolVar(&o.lenient, "lenient", false, "skip malformed log rows/events instead of failing")
 	flag.BoolVar(&o.stats, "stats", false, "print search statistics")
 	flag.StringVar(&o.dotFile, "dot", "", "write a Graphviz mapping rendering to this file")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "", "write the run's telemetry snapshot to this file as JSON")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar telemetry on this address (e.g. localhost:6060)")
+	flag.DurationVar(&o.progress, "progress", 0, "print a telemetry summary line to stderr at this interval (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: eventmatch [flags] LOG1 LOG2\n")
 		flag.PrintDefaults()
@@ -145,15 +160,47 @@ func run(ctx context.Context, path1, path2 string, o cliOptions) (truncated bool
 	if err != nil {
 		return false, err
 	}
-	l1, skipped1, err := readLog(path1, o)
+
+	// One registry serves every observability flag; with none of them set it
+	// stays nil and the whole pipeline runs uninstrumented.
+	var reg *eventmatch.TelemetryRegistry
+	if o.metricsJSON != "" || o.pprofAddr != "" || o.progress > 0 {
+		reg = eventmatch.NewTelemetry()
+	}
+	if o.metricsJSON != "" {
+		// Written on every exit path so an interrupted (anytime) run still
+		// leaves its effort counters behind.
+		defer func() {
+			if werr := writeMetricsJSON(reg, o.metricsJSON); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+	if o.pprofAddr != "" {
+		if perr := reg.PublishExpvar("eventmatch"); perr != nil {
+			return false, perr
+		}
+		go func() {
+			if serr := http.ListenAndServe(o.pprofAddr, nil); serr != nil {
+				fmt.Fprintln(os.Stderr, "eventmatch: pprof:", serr)
+			}
+		}()
+	}
+	prog := telemetry.NewProgress(reg, os.Stderr, o.progress)
+	prog.Start()
+	defer prog.Stop()
+
+	l1, skipped1, err := readLog(path1, o, reg)
 	if err != nil {
 		return false, err
 	}
-	l2, skipped2, err := readLog(path2, o)
+	l2, skipped2, err := readLog(path2, o, reg)
 	if err != nil {
 		return false, err
 	}
 	truncated = skipped1 || skipped2
+	l1.RegisterTelemetry(reg, "log1")
+	l2.RegisterTelemetry(reg, "log2")
 
 	var patterns []string
 	if o.patternsFile != "" {
@@ -176,6 +223,7 @@ func run(ctx context.Context, path1, path2 string, o cliOptions) (truncated bool
 		MaxDuration: o.timeout,
 		MaxFrontier: o.maxFrontier,
 		Workers:     cliWorkers(o.workers),
+		Telemetry:   reg,
 	})
 	if err != nil {
 		return false, err
@@ -207,19 +255,30 @@ func run(ctx context.Context, path1, path2 string, o cliOptions) (truncated bool
 	return truncated, nil
 }
 
+// writeMetricsJSON dumps the registry's snapshot to path.
+func writeMetricsJSON(reg *eventmatch.TelemetryRegistry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // readLog loads one log, strictly by default, leniently (with skips reported
 // on stderr) under -lenient. skipped reports whether anything was dropped.
-func readLog(path string, o cliOptions) (l *eventmatch.Log, skipped bool, err error) {
-	if !o.lenient {
-		l, err = eventmatch.ReadLogFile(path)
-		return l, false, err
+func readLog(path string, o cliOptions, reg *eventmatch.TelemetryRegistry) (l *eventmatch.Log, skipped bool, err error) {
+	ro := eventmatch.ReadOptions{Telemetry: reg}
+	if o.lenient {
+		ro.Lenient = true
+		ro.MaxTraceLen = lenientMaxTraceLen
+		ro.MaxLogBytes = lenientMaxLogBytes
+		ro.Workers = cliWorkers(o.workers)
 	}
-	l, rep, err := eventmatch.ReadLogFileReport(path, eventmatch.ReadOptions{
-		Lenient:     true,
-		MaxTraceLen: lenientMaxTraceLen,
-		MaxLogBytes: lenientMaxLogBytes,
-		Workers:     cliWorkers(o.workers),
-	})
+	l, rep, err := eventmatch.ReadLogFileReport(path, ro)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"eventmatch"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/telemetry"
 )
 
 // opts builds cliOptions with the historical defaults used by the tests.
@@ -176,6 +182,77 @@ func TestRunLenientSkipsCorruptRows(t *testing.T) {
 	}
 	if !truncated {
 		t.Error("lenient run with skips must report truncation")
+	}
+}
+
+// writeFig1Logs materializes the paper's Figure 1 workload as CLI inputs.
+func writeFig1Logs(t *testing.T) (string, string, string) {
+	t.Helper()
+	w := gen.Fig1()
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "dept1.log"), filepath.Join(dir, "dept2.log")}
+	for i, l := range []*eventmatch.Log{w.L1, w.L2} {
+		var b bytes.Buffer
+		if err := eventmatch.WriteLog(&b, l, "log"); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(paths[i], b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pats := filepath.Join(dir, "patterns.txt")
+	if err := os.WriteFile(pats, []byte(strings.Join(w.Patterns, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return paths[0], paths[1], pats
+}
+
+// TestRunMetricsJSON is the observability acceptance path: the exact search
+// on the Figure 1 example with -metrics-json must leave behind a snapshot
+// with nonzero A* expansions and frequency-cache traffic.
+func TestRunMetricsJSON(t *testing.T) {
+	l1, l2, pats := writeFig1Logs(t)
+	o := opts("exact", pats, false, "")
+	o.metricsJSON = filepath.Join(t.TempDir(), "metrics.json")
+	truncated, err := run(context.Background(), l1, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean run must not report truncation")
+	}
+	data, err := os.ReadFile(o.metricsJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON malformed: %v\n%s", err, data)
+	}
+	for _, c := range []string{"astar.expanded", "astar.bound_evals", "logio.traces", "logio.bytes"} {
+		if snap.Counter(c) <= 0 {
+			t.Errorf("counter %s = %d, want > 0\n%s", c, snap.Counter(c), data)
+		}
+	}
+	for _, g := range []string{"cache.hits", "cache.misses"} {
+		if snap.Gauge(g) <= 0 {
+			t.Errorf("gauge %s = %d, want > 0\n%s", g, snap.Gauge(g), data)
+		}
+	}
+}
+
+// TestRunProgressLines checks that -progress emits summary lines without
+// disturbing the run.
+func TestRunProgressLines(t *testing.T) {
+	l1, l2, pats := writeDemoLogs(t)
+	o := opts("heuristic-advanced", pats, false, "")
+	o.progress = time.Millisecond
+	truncated, err := run(context.Background(), l1, l2, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("clean run must not report truncation")
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"eventmatch/internal/match"
 	"eventmatch/internal/metrics"
 	"eventmatch/internal/pattern"
+	"eventmatch/internal/telemetry"
 )
 
 // Core types re-exported from the implementation packages. The aliases carry
@@ -67,7 +68,20 @@ type (
 	ReadOptions = logio.ReadOptions
 	// ReadReport summarizes what a lenient read skipped.
 	ReadReport = logio.ReadReport
+	// TelemetryRegistry collects named counters, gauges and timers from the
+	// matching pipeline. Create one with NewTelemetry, pass it through
+	// Config.Telemetry (and/or ReadOptions.Telemetry), then read it back
+	// with its Snapshot, WriteJSON or Summary methods.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry's metrics;
+	// Stats.Telemetry carries one per search when telemetry is enabled.
+	TelemetrySnapshot = telemetry.Snapshot
 )
+
+// NewTelemetry returns an empty metrics registry ready to hand to
+// Config.Telemetry or ReadOptions.Telemetry. A nil registry everywhere means
+// telemetry is off and costs nothing.
+func NewTelemetry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // Algorithm selects the matching strategy.
 type Algorithm int
@@ -164,6 +178,15 @@ type Config struct {
 	// but goroutines for wall-clock time. Only the pattern-based
 	// algorithms (exact, heuristics) use it.
 	Workers int
+
+	// Telemetry, when non-nil, receives fine-grained effort counters from
+	// the search (A* expansions, bound evaluations, frequency-cache hits
+	// and misses, worker-shard sizes, ...). The registry accumulates across
+	// calls; Result.Stats.Telemetry carries a snapshot taken at the end of
+	// each search. Nil (the default) disables instrumentation; the hot
+	// paths then pay only an untaken nil-check. Only the pattern-based
+	// algorithms (exact, heuristics) report search counters.
+	Telemetry *TelemetryRegistry
 }
 
 // resolveWorkers maps the public Workers convention (negative = one per
@@ -248,6 +271,7 @@ func MatchContext(ctx context.Context, l1, l2 *Log, cfg Config) (*Result, error)
 		MaxGenerated: cfg.MaxGenerated,
 		MaxFrontier:  cfg.MaxFrontier,
 		Workers:      resolveWorkers(cfg.Workers),
+		Telemetry:    cfg.Telemetry,
 	}
 	var (
 		m  Mapping
@@ -472,6 +496,7 @@ func MatchOneToNContext(ctx context.Context, l1, l2 *Log, cfg Config) (*SetResul
 		MaxDuration:  cfg.MaxDuration,
 		MaxGenerated: cfg.MaxGenerated,
 		Workers:      resolveWorkers(cfg.Workers),
+		Telemetry:    cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err

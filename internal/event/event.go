@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"eventmatch/internal/telemetry"
 )
 
 // ID is a dense event identifier local to one Alphabet. IDs are assigned
@@ -292,6 +294,23 @@ func (l *Log) Summarize() Stats {
 	}
 	s.MeanLen = float64(s.Occurrences) / float64(s.Traces)
 	return s
+}
+
+// RegisterTelemetry publishes the log's shape under the given prefix as
+// func gauges (prefix.traces, prefix.events, prefix.occurrences) evaluated
+// lazily at snapshot time, so a metrics dump self-describes the workload it
+// measured. No-op on a nil registry. The log must not be mutated while the
+// registry can still snapshot it.
+func (l *Log) RegisterTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.RegisterFunc(prefix+".traces", func() int64 { return int64(len(l.Traces)) })
+	reg.RegisterFunc(prefix+".events", func() int64 { return int64(l.Alphabet.Len()) })
+	reg.RegisterFunc(prefix+".occurrences", func() int64 {
+		var n int64
+		for _, t := range l.Traces {
+			n += int64(len(t))
+		}
+		return n
+	})
 }
 
 // Frequency returns, for each event id, the fraction of traces containing it

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"eventmatch/internal/telemetry"
 )
 
 func TestAlphabetIntern(t *testing.T) {
@@ -324,5 +326,20 @@ func TestProjectSetDropsEmptyTraces(t *testing.T) {
 	}
 	if p.NumTraces() != 1 {
 		t.Errorf("traces = %d, want 1", p.NumTraces())
+	}
+}
+
+func TestRegisterTelemetry(t *testing.T) {
+	l := FromStrings("A B C", "A C")
+	l.RegisterTelemetry(nil, "log") // nil registry must be a no-op
+
+	reg := telemetry.NewRegistry()
+	l.RegisterTelemetry(reg, "log")
+	snap := reg.Snapshot()
+	want := map[string]int64{"log.traces": 2, "log.events": 3, "log.occurrences": 5}
+	for name, v := range want {
+		if got := snap.Gauge(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
 	}
 }

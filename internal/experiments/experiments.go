@@ -74,6 +74,7 @@ type Result struct {
 	FMeasure  float64
 	Time      time.Duration
 	Generated int // processed mappings M' (Figs 7c/8c/9c/10c)
+	Expanded  int // expansion steps taken (search effort behind Figs 10-12)
 	// Truncated marks an anytime result: the budget (or beam bound) cut
 	// the search short and FMeasure scores the best-so-far mapping. The
 	// paper's DNF entries map onto these rows.
@@ -146,9 +147,9 @@ func (in *instance) runAStarOpts(name string, mode match.Mode, opts match.Option
 	}
 	m, st, err := pr.AStar(opts)
 	if err != nil {
-		return Result{Approach: name, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+		return Result{Approach: name, Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, DNF: true}
 	}
-	return Result{Approach: name, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
+	return Result{Approach: name, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, Truncated: st.Truncated}
 }
 
 // runGreedy runs Heuristic-Simple (pattern mode).
@@ -159,9 +160,9 @@ func (in *instance) runGreedy(budget time.Duration) Result {
 	}
 	m, st, err := pr.GreedyExpand(match.Options{Bound: match.BoundSimple, MaxDuration: budget})
 	if err != nil {
-		return Result{Approach: ApHeurSimple, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+		return Result{Approach: ApHeurSimple, Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, DNF: true}
 	}
-	return Result{Approach: ApHeurSimple, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
+	return Result{Approach: ApHeurSimple, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, Truncated: st.Truncated}
 }
 
 // runAdvanced runs Heuristic-Advanced (pattern mode).
@@ -174,9 +175,9 @@ func (in *instance) runAdvanced(budget time.Duration, opts match.Options) Result
 	opts.MaxDuration = budget
 	m, st, err := pr.HeuristicAdvanced(opts)
 	if err != nil {
-		return Result{Approach: ApHeurAdvanced, Time: st.Elapsed, Generated: st.Generated, DNF: true}
+		return Result{Approach: ApHeurAdvanced, Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, DNF: true}
 	}
-	return Result{Approach: ApHeurAdvanced, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Truncated: st.Truncated}
+	return Result{Approach: ApHeurAdvanced, FMeasure: in.fmeasure(m), Time: st.Elapsed, Generated: st.Generated, Expanded: st.Expanded, Truncated: st.Truncated}
 }
 
 // runIterative runs the Nejati-style baseline.

@@ -15,8 +15,8 @@ func PrintTable3(w io.Writer, rows []DatasetInfo) {
 	}
 }
 
-// PrintFigure renders one figure's three panels (F-measure, time, #mappings)
-// as x-indexed tables, one column per approach.
+// PrintFigure renders one figure's four panels (F-measure, time, #mappings,
+// #expansions) as x-indexed tables, one column per approach.
 func PrintFigure(w io.Writer, title, xlabel string, points []Point) {
 	if len(points) == 0 {
 		fmt.Fprintf(w, "%s: no data\n", title)
@@ -72,6 +72,12 @@ func PrintFigure(w io.Writer, title, xlabel string, points []Point) {
 			return "-"
 		}
 		return mark(r, fmt.Sprintf("%d", r.Generated))
+	})
+	panel("d: # expansions", func(r Result) string {
+		if r.Expanded == 0 {
+			return "-"
+		}
+		return mark(r, fmt.Sprintf("%d", r.Expanded))
 	})
 	if truncatedSeen {
 		fmt.Fprintln(w, "* truncated: budget or beam bound hit; value scores the best-so-far mapping")

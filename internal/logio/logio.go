@@ -81,6 +81,8 @@ func ReadTraceLinesReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport
 			break
 		}
 	}
+	opts.Telemetry.Counter("logio.lines").Add(int64(lineNo))
+	opts.noteRead(l, &rep)
 	return l, rep, nil
 }
 
@@ -201,6 +203,7 @@ func ReadCSVReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error
 		l.AppendNames(byCase[c]...)
 		rep.Traces++
 	}
+	opts.noteRead(l, &rep)
 	return l, rep, nil
 }
 
@@ -291,6 +294,7 @@ func ReadXESReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error
 			if inTrace {
 				rep.SkippedTraces++ // the open trace cannot be trusted
 			}
+			opts.noteRead(l, &rep)
 			return l, rep, nil
 		}
 		switch t := tok.(type) {
@@ -400,6 +404,7 @@ func ReadXESReport(r io.Reader, opts ReadOptions) (*event.Log, ReadReport, error
 		}
 		rep.record(opts, ParseError{Trace: -1, Msg: "no XML content"})
 	}
+	opts.noteRead(l, &rep)
 	return l, rep, nil
 }
 

@@ -109,5 +109,7 @@ func readTraceLinesParallel(r io.Reader, opts ReadOptions) (*event.Log, ReadRepo
 		}
 		rep.record(opts, ParseError{Line: readErrLine, Trace: -1, Msg: readErr.Error()})
 	}
+	opts.Telemetry.Counter("logio.lines").Add(int64(lineNo))
+	opts.noteRead(l, &rep)
 	return l, rep, nil
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/telemetry"
 )
 
 // DefaultMaxErrors caps how many ParseErrors a ReadReport retains when
@@ -34,6 +37,12 @@ type ReadOptions struct {
 	// inherently stream-stateful). 0 or 1 reads sequentially. The produced
 	// log and report are identical for every value.
 	Workers int
+	// Telemetry, when non-nil, receives ingestion counters: logio.bytes
+	// (input bytes consumed), logio.lines (trace-lines format only),
+	// logio.traces, logio.events (both for logs delivered to the caller,
+	// including lenient partial reads), and logio.parse_errors. Nil disables
+	// all instrumentation at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (o ReadOptions) maxErrors() int {
@@ -77,9 +86,25 @@ type ReadReport struct {
 // record notes one problem; retention is capped, the count is not.
 func (rep *ReadReport) record(opts ReadOptions, e ParseError) {
 	rep.ErrorCount++
+	opts.Telemetry.Counter("logio.parse_errors").Inc()
 	if len(rep.Errors) < opts.maxErrors() {
 		rep.Errors = append(rep.Errors, e)
 	}
+}
+
+// noteRead records the delivered log in the telemetry registry; called once
+// per read on every path that hands a log back to the caller (including
+// lenient partial reads). No-op without a registry.
+func (o ReadOptions) noteRead(l *event.Log, rep *ReadReport) {
+	if o.Telemetry == nil || l == nil {
+		return
+	}
+	o.Telemetry.Counter("logio.traces").Add(int64(rep.Traces))
+	var ev int64
+	for _, t := range l.Traces {
+		ev += int64(len(t))
+	}
+	o.Telemetry.Counter("logio.events").Add(ev)
 }
 
 // ErrLogTooLarge is returned (wrapped) when the input exceeds
@@ -106,10 +131,27 @@ func (lr *limitedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// guardReader applies MaxLogBytes if set.
+// countingReader adds every byte delivered downstream to a telemetry
+// counter. It sits outside the byte-limit guard, so logio.bytes reports
+// bytes actually consumed, not bytes offered.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+// guardReader applies MaxLogBytes and the byte counter if set.
 func guardReader(r io.Reader, opts ReadOptions) io.Reader {
 	if opts.MaxLogBytes > 0 {
-		return &limitedReader{r: r, max: opts.MaxLogBytes}
+		r = &limitedReader{r: r, max: opts.MaxLogBytes}
+	}
+	if opts.Telemetry != nil {
+		r = &countingReader{r: r, c: opts.Telemetry.Counter("logio.bytes")}
 	}
 	return r
 }

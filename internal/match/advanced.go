@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eventmatch/internal/event"
+	"eventmatch/internal/telemetry"
 )
 
 // HeuristicAdvanced is Algorithm 3: Kuhn–Munkres-style matching guided by the
@@ -29,6 +30,17 @@ func (pr *Problem) HeuristicAdvanced(opts Options) (Mapping, Stats, error) {
 // returned as-is. Either way the result carries Stats.Truncated instead of
 // an error.
 func (pr *Problem) HeuristicAdvancedContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
+	tele := pr.newSearchTelemetry(opts)
+	span := tele.advancedTime.Start()
+	m, st, err := pr.heuristicAdvanced(ctx, opts, tele)
+	span.Stop()
+	tele.noteRescore(pr, m)
+	tele.finish(&st)
+	return m, st, err
+}
+
+// heuristicAdvanced is the Algorithm 3 loop behind HeuristicAdvancedContext.
+func (pr *Problem) heuristicAdvanced(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
@@ -69,7 +81,9 @@ func (pr *Problem) HeuristicAdvancedContext(ctx context.Context, opts Options) (
 	// only has to fill in the rest. Vertex/edge-only problems are unaffected
 	// (no complex patterns), keeping Proposition 6 intact.
 	if !opts.NoSeed {
-		for _, pair := range pr.seedFromPatterns(&st, stop) {
+		anchors := pr.seedFromPatterns(&st, stop)
+		tele.seedAnchors.Add(int64(len(anchors)))
+		for _, pair := range anchors {
 			matchX[pair[0]] = pair[1]
 			matchY[pair[1]] = pair[0]
 		}
@@ -80,12 +94,13 @@ rounds:
 		if _, halt := stop.now(&st); halt {
 			break
 		}
+		tele.rounds.Inc()
 		if opts.Workers > 1 {
 			// Parallel round: trees and candidate scores are computed by the
 			// worker pool, the winning candidate is selected in sequential
 			// order, so the committed matching is identical to the
 			// sequential round for every worker count.
-			res := pr.parallelRound(theta, lx, ly, matchX, matchY, n1, n2, &st, opts, stop)
+			res := pr.parallelRound(theta, lx, ly, matchX, matchY, n1, n2, &st, opts, stop, tele)
 			if res.halted {
 				break rounds
 			}
@@ -111,12 +126,14 @@ rounds:
 				continue
 			}
 			st.Expanded++
-			tlx, tly, way, freeCols := alternatingTree(u, theta, lx, ly, matchX, matchY)
+			tele.trees.Inc()
+			tlx, tly, way, freeCols := alternatingTree(u, theta, lx, ly, matchX, matchY, tele.relabels)
 			for _, endCol := range freeCols {
 				if _, halt := stop.every(&st); halt {
 					break rounds
 				}
 				st.Generated++
+				tele.augPaths.Inc()
 				mx := append([]int(nil), matchX...)
 				my := append([]int(nil), matchY...)
 				augment(mx, my, way, endCol)
@@ -173,7 +190,7 @@ rounds:
 		// commitments that augmenting paths alone did not revisit. Each swap is
 		// evaluated incrementally through the Ip index.
 		if !opts.NoRepair {
-			pr.repair(m, &st, opts, stop)
+			pr.repair(m, &st, opts, stop, tele)
 		}
 	}
 	pr.stripArtificial(m)
@@ -192,7 +209,7 @@ rounds:
 // (not once per sweep): a full sweep is quadratic-to-cubic in the alphabet,
 // far too coarse a granularity for a wall-clock deadline. m stays complete
 // at every instant, so an early return is a valid anytime result.
-func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper) {
+func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper, tele *searchTelemetry) {
 	n1 := len(m)
 	const eps = 1e-12
 	for improved := true; improved; {
@@ -207,6 +224,7 @@ func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper) {
 				if pr.swapGain(m, event.ID(i), event.ID(j)) > eps {
 					m[i], m[j] = m[j], m[i]
 					improved = true
+					tele.repairMoves.Inc()
 				}
 			}
 		}
@@ -229,6 +247,7 @@ func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper) {
 						if pr.rotateGain(m, event.ID(i), event.ID(j), event.ID(k)) > eps {
 							m[i], m[j], m[k] = m[j], m[k], m[i]
 							improved = true
+							tele.repairMoves.Inc()
 						}
 					}
 				}
@@ -259,6 +278,7 @@ func (pr *Problem) repair(m Mapping, st *Stats, opts Options, stop *stopper) {
 						}
 						used[b] = true
 						improved = true
+						tele.repairMoves.Inc()
 					}
 				}
 			}
@@ -412,8 +432,9 @@ func (pr *Problem) Theta(v1, v2 event.ID) float64 {
 // row u, updating a copy of the labeling via Formulas (3)/(4) until every
 // column is in the tree. It returns the updated labels, the way array (the
 // tree row through which each column was reached, for path extraction) and
-// the free columns — each of which terminates one augmenting path.
-func alternatingTree(u int, theta [][]float64, lx, ly []float64, matchX, matchY []int) (tlx, tly []float64, way []int, freeCols []int) {
+// the free columns — each of which terminates one augmenting path. relabels,
+// when non-nil, counts the Formula (3)/(4) labeling updates applied.
+func alternatingTree(u int, theta [][]float64, lx, ly []float64, matchX, matchY []int, relabels *telemetry.Counter) (tlx, tly []float64, way []int, freeCols []int) {
 	n := len(lx)
 	tlx = append([]float64(nil), lx...)
 	tly = append([]float64(nil), ly...)
@@ -440,6 +461,7 @@ func alternatingTree(u int, theta [][]float64, lx, ly []float64, matchX, matchY 
 			break
 		}
 		if delta > eps {
+			relabels.Inc()
 			for i := 0; i < n; i++ {
 				if inS[i] {
 					tlx[i] -= delta

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eventmatch/internal/event"
+	"eventmatch/internal/telemetry"
 )
 
 // ErrBudgetExceeded reports that a search exhausted its node or time budget
@@ -48,6 +49,14 @@ type Options struct {
 
 	// Ablation switches (all false in normal operation).
 
+	// Telemetry, when non-nil, receives the search's instrumentation: the
+	// astar.* / advanced.* / greedy.* effort counters and timers, plus the
+	// cache.* and engine.* metrics of the problem's frequency evaluation.
+	// The registry may be shared across runs (counters accumulate) and read
+	// concurrently (progress lines, expvar). Nil disables instrumentation
+	// at near-zero cost.
+	Telemetry *telemetry.Registry
+
 	// NaiveOrder expands V1 events in id order instead of the §3.1
 	// most-patterns-first order.
 	NaiveOrder bool
@@ -72,6 +81,11 @@ type Stats struct {
 	// StopReason names the exhausted budget when Truncated (one of the
 	// Stop* constants); empty otherwise.
 	StopReason string
+
+	// Telemetry is the run's metric snapshot, taken as the search returned.
+	// Nil unless Options.Telemetry was set. When the registry is shared
+	// across several runs the snapshot holds the accumulated values.
+	Telemetry *telemetry.Snapshot
 }
 
 // node is an A* search-tree node: a partial mapping with its g and h values.
@@ -119,6 +133,17 @@ func (pr *Problem) AStar(opts Options) (Mapping, Stats, error) {
 // memory; a pruned run also reports Truncated, since optimality can no
 // longer be proven.
 func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
+	tele := pr.newSearchTelemetry(opts)
+	span := tele.astarTime.Start()
+	m, st, err := pr.astarSearch(ctx, opts, tele)
+	span.Stop()
+	tele.noteRescore(pr, m)
+	tele.finish(&st)
+	return m, st, err
+}
+
+// astarSearch is the Algorithm 1 loop behind AStarContext.
+func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
@@ -133,6 +158,7 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 		m:    NewMapping(n1),
 		used: make([]bool, n2),
 	}
+	tele.boundEvals.Inc()
 	root.h = pr.hBound(opts.Bound, root.m, root.used)
 
 	q := &nodeHeap{root}
@@ -157,6 +183,7 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 			return pr.truncateAStar(q, opts, &st, reason, start)
 		}
 		st.Expanded++
+		tele.expanded.Inc()
 		a := pr.expandEvent(cur.depth, opts)
 		if opts.Workers > 1 {
 			// Parallel successor expansion: compute all children of cur at
@@ -180,10 +207,11 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 					truncated = true
 				}
 			}
-			for _, child := range pr.expandBatch(cur, a, targets, opts.Bound, opts.Workers) {
+			for _, child := range pr.expandBatch(cur, a, targets, opts.Bound, opts.Workers, tele) {
 				st.Generated++
 				heap.Push(q, child)
 			}
+			tele.generated.Add(int64(len(targets)))
 			if truncated {
 				reason, _ := stop.every(&st) // records StopMaxGenerated
 				heap.Push(q, cur)
@@ -202,11 +230,15 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 					return pr.truncateAStar(q, opts, &st, reason, start)
 				}
 				st.Generated++
-				child := pr.expand(cur, a, event.ID(b), opts.Bound)
+				tele.generated.Inc()
+				child := pr.expand(cur, a, event.ID(b), opts.Bound, tele)
 				heap.Push(q, child)
 			}
 		}
+		tele.frontierPeak.SetMax(int64(q.Len()))
 		if opts.MaxFrontier > 0 && q.Len() > opts.MaxFrontier {
+			tele.pruneEvents.Inc()
+			tele.pruneDropped.Add(int64(q.Len() - opts.MaxFrontier))
 			pruneFrontier(q, opts.MaxFrontier)
 			pruned = true
 		}
@@ -289,8 +321,8 @@ func (pr *Problem) expandEvent(depth int, opts Options) event.ID {
 
 // expand creates the child of cur obtained by appending a→b, computing g
 // incrementally from the newly completed patterns (§3.2) and h from the
-// selected bound.
-func (pr *Problem) expand(cur *node, a, b event.ID, bound BoundKind) *node {
+// selected bound. tele may carry all-nil handles (telemetry disabled).
+func (pr *Problem) expand(cur *node, a, b event.ID, bound BoundKind, tele *searchTelemetry) *node {
 	child := &node{
 		m:     cur.m.Clone(),
 		used:  append([]bool(nil), cur.used...),
@@ -302,6 +334,7 @@ func (pr *Problem) expand(cur *node, a, b event.ID, bound BoundKind) *node {
 	for _, piIdx := range pr.pix.NewlyCompleted(a, func(v event.ID) bool { return child.m[v] != event.None && v != a }) {
 		child.g += pr.contribution(&pr.patterns[piIdx], child.m)
 	}
+	tele.boundEvals.Inc()
 	child.h = pr.hBound(bound, child.m, child.used)
 	return child
 }

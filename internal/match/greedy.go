@@ -24,6 +24,17 @@ func (pr *Problem) GreedyExpand(opts Options) (Mapping, Stats, error) {
 // is completed with cheap greedy commitments (no h-bound evaluation) and
 // returned with Stats.Truncated set.
 func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mapping, Stats, error) {
+	tele := pr.newSearchTelemetry(opts)
+	span := tele.greedyTime.Start()
+	m, st, err := pr.greedyExpand(ctx, opts, tele)
+	span.Stop()
+	tele.noteRescore(pr, m)
+	tele.finish(&st)
+	return m, st, err
+}
+
+// greedyExpand is the loop behind GreedyExpandContext.
+func (pr *Problem) greedyExpand(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
 	start := time.Now()
 	var st Stats
 	stop := newStopper(ctx, opts, start)
@@ -39,6 +50,7 @@ func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mappi
 			return pr.truncateGreedy(cur, opts, &st, reason, start)
 		}
 		st.Expanded++
+		tele.greedyExpanded.Inc()
 		a := pr.expandEvent(cur.depth, opts)
 		var best *node
 		for b := 0; b < n2; b++ {
@@ -55,7 +67,8 @@ func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mappi
 				return pr.truncateGreedy(base, opts, &st, reason, start)
 			}
 			st.Generated++
-			child := pr.expand(cur, a, event.ID(b), opts.Bound)
+			tele.greedyGenerated.Inc()
+			child := pr.expand(cur, a, event.ID(b), opts.Bound, tele)
 			if best == nil || child.g+child.h > best.g+best.h {
 				best = child
 			}

@@ -75,7 +75,7 @@ type roundResult struct {
 // deterministic for every worker count. Only wall-clock truncation points
 // can differ: workers poll the deadline/cancellation signals per candidate
 // and, like the sequential loop, discard the interrupted round.
-func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, matchY []int, n1, n2 int, st *Stats, opts Options, stop *stopper) roundResult {
+func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, matchY []int, n1, n2 int, st *Stats, opts Options, stop *stopper, tele *searchTelemetry) roundResult {
 	n := len(lx)
 	var rows []int
 	for _, u := range pr.rowOrder(n) {
@@ -93,8 +93,9 @@ func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, ma
 		freeCols []int
 	}
 	trees := make([]tree, len(rows))
+	tele.trees.Add(int64(len(rows)))
 	parallelFor(opts.Workers, len(rows), func(i int) {
-		tlx, tly, way, freeCols := alternatingTree(rows[i], theta, lx, ly, matchX, matchY)
+		tlx, tly, way, freeCols := alternatingTree(rows[i], theta, lx, ly, matchX, matchY, tele.relabels)
 		trees[i] = tree{tlx, tly, way, freeCols}
 	})
 
@@ -111,6 +112,7 @@ func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, ma
 				break
 			}
 			st.Generated++
+			tele.augPaths.Inc()
 			tasks = append(tasks, task{ri, endCol})
 		}
 		if halted {
@@ -165,10 +167,10 @@ func (pr *Problem) parallelRound(theta [][]float64, lx, ly []float64, matchX, ma
 // targets[i], so the caller can push them onto the frontier in exactly the
 // order the sequential loop would have — the resulting heap state is
 // bit-identical for every worker count.
-func (pr *Problem) expandBatch(cur *node, a event.ID, targets []event.ID, bound BoundKind, workers int) []*node {
+func (pr *Problem) expandBatch(cur *node, a event.ID, targets []event.ID, bound BoundKind, workers int, tele *searchTelemetry) []*node {
 	children := make([]*node, len(targets))
 	parallelFor(workers, len(targets), func(i int) {
-		children[i] = pr.expand(cur, a, targets[i], bound)
+		children[i] = pr.expand(cur, a, targets[i], bound, tele)
 	})
 	return children
 }

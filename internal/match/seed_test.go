@@ -126,7 +126,7 @@ func TestRepairFixesSwappedPair(t *testing.T) {
 	m[a], m[x] = m[x], m[a]
 	before := pr.Distance(m)
 	var st Stats
-	pr.repair(m, &st, Options{}, newStopper(context.Background(), Options{}, time.Now()))
+	pr.repair(m, &st, Options{}, newStopper(context.Background(), Options{}, time.Now()), pr.newSearchTelemetry(Options{}))
 	after := pr.Distance(m)
 	if after < before {
 		t.Errorf("repair decreased score: %v -> %v", before, after)

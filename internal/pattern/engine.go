@@ -2,9 +2,13 @@ package pattern
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"eventmatch/internal/telemetry"
 )
 
 // Parallel evaluation parameters.
@@ -34,6 +38,49 @@ const (
 type Engine struct {
 	ix      *TraceIndex
 	workers atomic.Int32
+	tele    atomic.Pointer[engineTelemetry]
+}
+
+// engineTelemetry holds the engine's pre-resolved metric handles. The
+// pointer is swapped atomically by SetTelemetry, so scans racing with a
+// telemetry change keep a consistent handle set.
+type engineTelemetry struct {
+	reg           *telemetry.Registry
+	scans         *telemetry.Counter // engine.scans: frequency scans started
+	parallelScans *telemetry.Counter // engine.parallel_scans: scans that sharded across workers
+	traces        *telemetry.Counter // engine.traces_scanned: candidate traces examined
+	matches       *telemetry.Counter // engine.trace_matches: candidate traces that matched
+	imbalance     *telemetry.Counter // engine.shard_imbalance_traces: Σ (largest − smallest shard)
+	queueWait     *telemetry.Timer   // engine.queue_wait: batch-worker startup-to-first-task latency
+	scanTime      *telemetry.Timer   // engine.scan_time: per-scan wall clock
+}
+
+// workerTraces resolves the per-worker-slot trace counter
+// ("engine.worker.NN.traces"), exposing how evenly the candidate shards
+// spread over the pool. Resolved per scan, not per trace, so the registry
+// lookup stays off the hot path.
+func (t *engineTelemetry) workerTraces(g int) *telemetry.Counter {
+	return t.reg.Counter(fmt.Sprintf("engine.worker.%02d.traces", g))
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a metrics registry. Safe to
+// call concurrently with evaluations; in-flight scans keep the handles they
+// started with.
+func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		e.tele.Store(nil)
+		return
+	}
+	e.tele.Store(&engineTelemetry{
+		reg:           reg,
+		scans:         reg.Counter("engine.scans"),
+		parallelScans: reg.Counter("engine.parallel_scans"),
+		traces:        reg.Counter("engine.traces_scanned"),
+		matches:       reg.Counter("engine.trace_matches"),
+		imbalance:     reg.Counter("engine.shard_imbalance_traces"),
+		queueWait:     reg.Timer("engine.queue_wait"),
+		scanTime:      reg.Timer("engine.scan_time"),
+	})
 }
 
 // NewEngine wraps a trace index with a frequency evaluator using the given
@@ -113,14 +160,25 @@ func (e *Engine) Frequencies(ctx context.Context, ps []*Pattern) ([]float64, err
 		wg       sync.WaitGroup
 	)
 	errs := make([]error, w)
+	tele := e.tele.Load()
+	enqueued := time.Now()
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			first := true
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(ps) || canceled.Load() {
 					return
+				}
+				if first {
+					first = false
+					if tele != nil {
+						// Queue wait: how long the batch's tasks sat enqueued
+						// before this worker picked up its first one.
+						tele.queueWait.Observe(time.Since(enqueued))
+					}
 				}
 				n, err := e.countRange(ctx, ps[i], e.ix.Candidates(ps[i].Events()), &canceled)
 				if err != nil {
@@ -151,9 +209,20 @@ func (e *Engine) normalize(count int) float64 {
 // countMatches counts the candidate traces matching p, sharding the
 // candidate list across workers when it is large enough to pay off.
 func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (int, error) {
+	tele := e.tele.Load()
+	if tele != nil {
+		sp := tele.scanTime.Start()
+		defer sp.Stop()
+		tele.scans.Inc()
+		tele.traces.Add(int64(len(cand)))
+	}
 	w := e.Workers()
 	if w <= 1 || len(cand) < minParallelTraces {
-		return e.countRange(ctx, p, cand, nil)
+		n, err := e.countRange(ctx, p, cand, nil)
+		if err == nil && tele != nil {
+			tele.matches.Add(int64(n))
+		}
+		return n, err
 	}
 	if max := len(cand) / (minParallelTraces / 2); w > max {
 		w = max // keep every shard at a meaningful size
@@ -163,6 +232,7 @@ func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (in
 	errs := make([]error, w)
 	var canceled atomic.Bool
 	var wg sync.WaitGroup
+	minShard, maxShard := len(cand), 0
 	for g := 0; g < w; g++ {
 		lo := g * chunk
 		hi := lo + chunk
@@ -172,6 +242,15 @@ func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (in
 		if lo >= hi {
 			break
 		}
+		if tele != nil {
+			tele.workerTraces(g).Add(int64(hi - lo))
+			if hi-lo < minShard {
+				minShard = hi - lo
+			}
+			if hi-lo > maxShard {
+				maxShard = hi - lo
+			}
+		}
 		wg.Add(1)
 		go func(g int, part []int32) {
 			defer wg.Done()
@@ -179,12 +258,19 @@ func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (in
 		}(g, cand[lo:hi])
 	}
 	wg.Wait()
+	if tele != nil {
+		tele.parallelScans.Inc()
+		tele.imbalance.Add(int64(maxShard - minShard))
+	}
 	n := 0
 	for g := 0; g < w; g++ {
 		if errs[g] != nil {
 			return 0, errs[g]
 		}
 		n += counts[g]
+	}
+	if tele != nil {
+		tele.matches.Add(int64(n))
 	}
 	return n, nil
 }

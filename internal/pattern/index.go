@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"eventmatch/internal/event"
+	"eventmatch/internal/telemetry"
 )
 
 // PatternIndex is the inverted index Ip of Section 3.2.1: for each event, the
@@ -166,8 +167,11 @@ func (ix *TraceIndex) Frequency(p *Pattern) float64 {
 const cacheShards = 32
 
 type cacheShard struct {
-	mu sync.Mutex
-	m  map[string]float64
+	mu    sync.Mutex
+	m     map[string]float64
+	hits  atomic.Int64
+	miss  atomic.Int64
+	evict atomic.Int64
 }
 
 // FrequencyCache memoizes pattern frequencies keyed by the pattern's order
@@ -176,12 +180,13 @@ type cacheShard struct {
 //
 // The cache is safe for concurrent use: the memo table is split into
 // cacheShards segments each guarded by its own mutex (keys are distributed
-// by FNV-1a hash), and the hit/miss counters are atomics.
+// by FNV-1a hash), and each shard keeps its own atomic hit/miss/evict
+// counters so concurrent lookups never contend on a shared cache-wide
+// counter cache line.
 type FrequencyCache struct {
-	eng    *Engine
-	shards [cacheShards]cacheShard
-	hits   atomic.Int64
-	miss   atomic.Int64
+	eng         *Engine
+	shards      [cacheShards]cacheShard
+	maxPerShard atomic.Int64 // 0 = unbounded
 }
 
 // NewFrequencyCache wraps a trace index with a frequency memo table using a
@@ -204,8 +209,85 @@ func NewFrequencyCacheEngine(eng *Engine) *FrequencyCache {
 // n <= 0 selects GOMAXPROCS; 1 is fully sequential.
 func (c *FrequencyCache) SetWorkers(n int) { c.eng.SetWorkers(n) }
 
+// SetMaxEntries bounds the memo table to roughly n entries across all
+// shards; n <= 0 removes the bound. When a shard exceeds its share, an
+// arbitrary entry is dropped before the insert — frequencies are
+// recomputable, so any victim is correct, and an arbitrary map key avoids
+// per-entry bookkeeping on the hit path.
+func (c *FrequencyCache) SetMaxEntries(n int) {
+	if n <= 0 {
+		c.maxPerShard.Store(0)
+		return
+	}
+	per := int64((n + cacheShards - 1) / cacheShards)
+	if per < 1 {
+		per = 1
+	}
+	c.maxPerShard.Store(per)
+}
+
 // Engine returns the underlying frequency engine.
 func (c *FrequencyCache) Engine() *Engine { return c.eng }
+
+// SetTelemetry attaches a metrics registry to the cache and its engine.
+// Cache-level values are published as func gauges evaluated at snapshot
+// time (cache.hits, cache.misses, cache.evictions, cache.entries,
+// cache.shard_imbalance), so the hot lookup path pays no registry work.
+// A nil registry detaches the engine and is otherwise a no-op.
+func (c *FrequencyCache) SetTelemetry(reg *telemetry.Registry) {
+	c.eng.SetTelemetry(reg)
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("cache.hits", func() int64 {
+		var n int64
+		for i := range c.shards {
+			n += c.shards[i].hits.Load()
+		}
+		return n
+	})
+	reg.RegisterFunc("cache.misses", func() int64 {
+		var n int64
+		for i := range c.shards {
+			n += c.shards[i].miss.Load()
+		}
+		return n
+	})
+	reg.RegisterFunc("cache.evictions", func() int64 {
+		var n int64
+		for i := range c.shards {
+			n += c.shards[i].evict.Load()
+		}
+		return n
+	})
+	reg.RegisterFunc("cache.entries", func() int64 {
+		var n int64
+		for i := range c.shards {
+			c.shards[i].mu.Lock()
+			n += int64(len(c.shards[i].m))
+			c.shards[i].mu.Unlock()
+		}
+		return n
+	})
+	reg.RegisterFunc("cache.shard_imbalance", func() int64 {
+		min, max := -1, 0
+		for i := range c.shards {
+			c.shards[i].mu.Lock()
+			n := len(c.shards[i].m)
+			c.shards[i].mu.Unlock()
+			if min < 0 || n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if min < 0 {
+			min = 0
+		}
+		return int64(max - min)
+	})
+}
 
 // shardOf distributes a cache key over the shards by FNV-1a hash.
 func shardOf(key string) int {
@@ -237,23 +319,48 @@ func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (floa
 	f, ok := sh.m[key]
 	sh.mu.Unlock()
 	if ok {
-		c.hits.Add(1)
+		sh.hits.Add(1)
 		return f, nil
 	}
-	c.miss.Add(1)
+	sh.miss.Add(1)
 	f, err := c.eng.FrequencyContext(ctx, p)
 	if err != nil {
 		return 0, err
 	}
+	max := c.maxPerShard.Load()
 	sh.mu.Lock()
+	if max > 0 {
+		for int64(len(sh.m)) >= max {
+			for victim := range sh.m {
+				delete(sh.m, victim)
+				break
+			}
+			sh.evict.Add(1)
+		}
+	}
 	sh.m[key] = f
 	sh.mu.Unlock()
 	return f, nil
 }
 
-// Stats reports cache hits and misses.
+// Stats reports cache hits and misses, summed across shards.
 func (c *FrequencyCache) Stats() (hits, misses int) {
-	return int(c.hits.Load()), int(c.miss.Load())
+	var h, m int64
+	for i := range c.shards {
+		h += c.shards[i].hits.Load()
+		m += c.shards[i].miss.Load()
+	}
+	return int(h), int(m)
+}
+
+// Evictions reports how many memoized entries SetMaxEntries pressure has
+// dropped, summed across shards.
+func (c *FrequencyCache) Evictions() int {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].evict.Load()
+	}
+	return int(n)
 }
 
 // signature produces a canonical string for the pattern structure + events,

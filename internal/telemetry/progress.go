@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress periodically writes one-line registry summaries to a writer —
+// the engine behind eventmatch's -progress flag. Lines look like
+//
+//	progress t=2.0s astar.expanded=1042 cache.hits=5210 ...
+//
+// Start and Stop are safe to call from different goroutines; Stop waits for
+// the printing goroutine to exit, so the writer is never touched afterwards.
+type Progress struct {
+	reg   *Registry
+	w     io.Writer
+	every time.Duration
+
+	mu    sync.Mutex
+	done  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+}
+
+// NewProgress prepares a periodic reporter; it does not start printing. A
+// nil registry or non-positive interval yields a reporter whose Start is a
+// no-op.
+func NewProgress(reg *Registry, w io.Writer, every time.Duration) *Progress {
+	return &Progress{reg: reg, w: w, every: every}
+}
+
+// Start launches the printing goroutine. Calling Start twice without an
+// intervening Stop is a no-op.
+func (p *Progress) Start() {
+	if p == nil || p.reg == nil || p.w == nil || p.every <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done != nil {
+		return
+	}
+	p.done = make(chan struct{})
+	p.start = time.Now()
+	done := p.done
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(p.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				p.line()
+			}
+		}
+	}()
+}
+
+// Stop halts the reporter, prints one final line, and waits for the printing
+// goroutine to exit.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	done := p.done
+	p.done = nil
+	p.mu.Unlock()
+	if done == nil {
+		return
+	}
+	close(done)
+	p.wg.Wait()
+	p.line()
+}
+
+// line writes one summary line; errors are deliberately ignored (progress is
+// best-effort diagnostics, typically on stderr).
+func (p *Progress) line() {
+	snap := p.reg.Snapshot()
+	fmt.Fprintf(p.w, "progress t=%.1fs %s\n", time.Since(p.start).Seconds(), snap.Summary())
+}
+
+// publishMu serializes expvar publication checks: expvar.Publish panics on
+// duplicate names, and two registries (or two calls) may race to the same
+// name.
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry's snapshot as a single expvar variable
+// with the given name (rendered as the Snapshot JSON object), making it
+// visible on the /debug/vars endpoint of any HTTP server with expvar's
+// handler installed — such as the -pprof server of cmd/eventmatch. If the
+// name is already published the existing variable is left in place and an
+// error is returned. No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return nil
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("telemetry: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return r.Snapshot()
+	}))
+	return nil
+}
