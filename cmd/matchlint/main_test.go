@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, name := range []string{"ctxpass", "intmerge", "kindswitch", "mapiter", "telemetrynil"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunCleanPackage(t *testing.T) {
+	// The matching pipeline itself must stay matchlint-clean; one leaf package
+	// keeps the test fast while still exercising load → analyze → report.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"eventmatch/internal/event"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(internal/event) = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean package produced findings:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "matchlint:") {
+		t.Errorf("error output missing matchlint prefix: %s", stderr.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}

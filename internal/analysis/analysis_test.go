@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestPkgPathHas(t *testing.T) {
+	cases := []struct {
+		path, want string
+		ok         bool
+	}{
+		{"eventmatch/internal/match", "internal/match", true},
+		{"eventmatch/internal/match", "internal", true},
+		{"eventmatch/internal/match", "match", true},
+		{"internal/match", "internal/match", true},
+		{"eventmatch/internal/matchfoo", "internal/match", false},
+		{"eventmatch/internal/pattern", "internal/match", false},
+		{"eventmatch/xinternal/match", "internal/match", false},
+		{"eventmatch/internal/match", "internal/match/extra", false},
+		{"eventmatch", "", false},
+	}
+	for _, c := range cases {
+		if got := PkgPathHas(c.path, c.want); got != c.ok {
+			t.Errorf("PkgPathHas(%q, %q) = %v, want %v", c.path, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+		Analyzer: "mapiter",
+		Message:  "range over map",
+	}
+	want := "a.go:3:7: [mapiter] range over map"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// checkString type-checks one synthetic file for white-box tests.
+func checkString(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// TestIgnoreDirectives verifies that //matchlint:ignore suppresses findings
+// on its own line and the next line, for the named analyzers only.
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+func a() {}
+
+//matchlint:ignore probe intentional
+func b() {}
+
+//matchlint:ignore other,probe multi-analyzer directive
+func c() {}
+
+//matchlint:ignore other different analyzer
+func d() {}
+`
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every function declaration",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	fset, files, pkg, info := checkString(t, src)
+	diags, err := RunSingle(probe, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("RunSingle: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{"func a", "func d"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("surviving diagnostics = %v, want %v", got, want)
+	}
+}
+
+// TestRunLoadsModulePackages smokes the offline loader end to end: go list
+// -export populates export data, and the type-checked package reaches the
+// analyzer with its files and info attached.
+func TestRunLoadsModulePackages(t *testing.T) {
+	seen := map[string]bool{}
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "records visited packages",
+		Run: func(pass *Pass) error {
+			seen[pass.Pkg.Path()] = true
+			if len(pass.Files) == 0 {
+				t.Errorf("package %s loaded with no files", pass.Pkg.Path())
+			}
+			if pass.TypesInfo == nil || len(pass.TypesInfo.Defs) == 0 {
+				t.Errorf("package %s loaded without type info", pass.Pkg.Path())
+			}
+			return nil
+		},
+	}
+	diags, err := Run("", []string{"eventmatch/internal/event"}, []*Analyzer{probe})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !seen["eventmatch/internal/event"] {
+		t.Fatalf("loader never visited eventmatch/internal/event (saw %v)", seen)
+	}
+	if len(diags) != 0 {
+		t.Errorf("probe analyzer reported %d diagnostics, want 0", len(diags))
+	}
+}

@@ -1,0 +1,160 @@
+// Package analysistest runs one analyzer over an annotated source fixture,
+// in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory tree shaped like testdata/src/<import-path>/*.go.
+// Lines where the analyzer must report carry a trailing expectation comment:
+//
+//	for k := range m { // want `range over map`
+//
+// The backquoted (or double-quoted) string is a regexp matched against the
+// diagnostic message; several expectations may follow one want. Lines without
+// a want comment must produce no diagnostic. Ignore directives
+// (//matchlint:ignore ...) are honored exactly as in a real run, so fixtures
+// can assert that suppression works.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"eventmatch/internal/analysis"
+)
+
+// wantRe extracts the expectation strings from a want comment.
+var wantRe = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)$")
+
+// expectation is one required diagnostic.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+// Run applies the analyzer to the fixture packages rooted at dir/src and
+// verifies its diagnostics against the // want annotations. pkgPaths are the
+// fixture packages' import paths (subdirectories of dir/src), listed in
+// dependency order — earlier packages are importable by later ones.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	deps := map[string]*types.Package{}
+	var expectations []*expectation
+	var diags []analysis.Diagnostic
+
+	for _, pkgPath := range pkgPaths {
+		pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatalf("reading fixture dir: %v", err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(pkgDir, e.Name())
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing fixture: %v", err)
+			}
+			files = append(files, f)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			expectations = append(expectations, parseWants(t, path, string(src))...)
+		}
+		if len(files) == 0 {
+			t.Fatalf("fixture package %s has no Go files", pkgPath)
+		}
+		tpkg, info, err := analysis.CheckSource("", pkgPath, fset, files, deps)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		deps[pkgPath] = tpkg
+		ds, err := analysis.RunSingle(a, fset, files, tpkg, info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	// Match every diagnostic to an expectation on its line.
+	for _, d := range diags {
+		matched := false
+		for _, ex := range expectations {
+			if ex.met || ex.file != d.Pos.Filename || ex.line != d.Pos.Line {
+				continue
+			}
+			if ex.rx.MatchString(d.Message) {
+				ex.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	sort.Slice(expectations, func(i, j int) bool {
+		if expectations[i].file != expectations[j].file {
+			return expectations[i].file < expectations[j].file
+		}
+		return expectations[i].line < expectations[j].line
+	})
+	for _, ex := range expectations {
+		if !ex.met {
+			t.Errorf("missing diagnostic at %s:%d: want match for %q", ex.file, ex.line, ex.rx)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one fixture file's source text.
+func parseWants(t *testing.T, filename, src string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRe.FindStringSubmatch(strings.TrimRight(line, " \t"))
+		if m == nil {
+			continue
+		}
+		for _, q := range splitQuoted(m[1]) {
+			rx, err := regexp.Compile(q)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", filename, i+1, q, err)
+			}
+			out = append(out, &expectation{file: filename, line: i + 1, rx: rx})
+		}
+	}
+	return out
+}
+
+// splitQuoted splits `a` "b" `c` into its quoted contents.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 {
+			return out
+		}
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,68 @@
+package analysistest
+
+import (
+	"go/ast"
+	"reflect"
+	"testing"
+
+	"eventmatch/internal/analysis"
+)
+
+func TestSplitQuoted(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"`one`", []string{"one"}},
+		{"`one` \"two\"", []string{"one", "two"}},
+		{"  `spaced`  ", []string{"spaced"}},
+		{"", nil},
+		{"unquoted", nil},
+		{"`unterminated", nil},
+	}
+	for _, c := range cases {
+		if got := splitQuoted(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("splitQuoted(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseWants(t *testing.T) {
+	src := "package p\n" +
+		"var a = 1 // want `first`\n" +
+		"var b = 2\n" +
+		"var c = 3 // want `third` \"also third\"\n"
+	wants := parseWants(t, "f.go", src)
+	if len(wants) != 3 {
+		t.Fatalf("parsed %d expectations, want 3", len(wants))
+	}
+	if wants[0].line != 2 || wants[1].line != 4 || wants[2].line != 4 {
+		t.Errorf("expectation lines = %d,%d,%d, want 2,4,4",
+			wants[0].line, wants[1].line, wants[2].line)
+	}
+}
+
+// TestRunFixture drives the runner end to end over its own testdata: a probe
+// analyzer that flags functions by name must satisfy the fixture's want
+// annotations, including an ignore-suppressed site.
+func TestRunFixture(t *testing.T) {
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "flags the functions named bad or ugly",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					if name := fd.Name.Name; name == "bad" || name == "ugly" {
+						pass.Reportf(fd.Pos(), "function %s", name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	Run(t, probe, "testdata", "example")
+}

@@ -1,0 +1,10 @@
+// Fixture for the runner's own test: the probe analyzer flags functions
+// named bad or ugly; the ignore directive suppresses the ugly finding.
+package example
+
+func bad() {} // want `function bad`
+
+func good() {}
+
+//matchlint:ignore probe deliberately ugly
+func ugly() {}

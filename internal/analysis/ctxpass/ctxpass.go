@@ -1,0 +1,176 @@
+// Package ctxpass flags context.Background() and context.TODO() calls made
+// where a context.Context parameter is already in scope.
+//
+// Invariant guarded (PR 1): anytime/cancellable matching depends on the
+// caller's context being threaded through every level of the search and
+// frequency stack. A hot-path helper that quietly substitutes
+// context.Background() severs the cancellation chain — budgets and SIGINT
+// stop working for everything beneath it, with no compile-time symptom.
+//
+// Functions without a context parameter (the convenience wrappers like
+// Engine.Frequency) are exempt: they are the documented uncancellable entry
+// points. The nil-fallback idiom
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// is also exempt — assigning to the context parameter itself repairs the
+// chain rather than breaking it.
+package ctxpass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// Analyzer flags severed context chains in internal packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpass",
+	Doc:  "flag context.Background()/TODO() where a ctx parameter is in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathHas(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(pass, fd.Type)
+			if len(params) == 0 {
+				// No context parameter at the top level; closures inside may
+				// still declare their own, so inspect function literals.
+				inspectLits(pass, fd.Body)
+				continue
+			}
+			checkBody(pass, fd.Body, params)
+		}
+	}
+	return nil
+}
+
+// inspectLits descends into function literals of a context-free function,
+// applying the check to any literal that declares its own context parameter.
+func inspectLits(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if params := ctxParams(pass, lit.Type); len(params) > 0 {
+			checkBody(pass, lit.Body, params)
+			return false // checkBody already covers nested literals
+		}
+		return true
+	})
+}
+
+// checkBody reports fresh-context calls inside body. params holds the
+// context parameters lexically in scope (closures inherit the enclosing
+// function's, and may add their own).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	// Exempt positions: the RHS of `ctx = context.Background()` where ctx is
+	// a context parameter in scope (the nil-fallback idiom).
+	exempt := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if freshContextCall(pass, rhs) != "" && i < len(as.Lhs) && isCtxParam(pass, as.Lhs[i], params) {
+				exempt[rhs] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := params
+			if extra := ctxParams(pass, n.Type); len(extra) > 0 {
+				inner = make(map[types.Object]bool, len(params)+len(extra))
+				for o := range params {
+					inner[o] = true
+				}
+				for o := range extra {
+					inner[o] = true
+				}
+			}
+			checkBody(pass, n.Body, inner)
+			return false
+		case ast.Expr:
+			if exempt[n] {
+				return false
+			}
+			if name := freshContextCall(pass, n); name != "" {
+				pass.Reportf(n.Pos(),
+					"context.%s() severs the cancellation chain: a context parameter is in scope; pass it through instead", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// freshContextCall reports whether expr is a call to context.Background or
+// context.TODO, returning the function name ("" otherwise).
+func freshContextCall(pass *analysis.Pass, expr ast.Expr) string {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if name := obj.Name(); name == "Background" || name == "TODO" {
+		return name
+	}
+	return ""
+}
+
+// ctxParams collects the function type's parameters of type context.Context.
+func ctxParams(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isCtxParam reports whether expr is an identifier bound to one of params.
+func isCtxParam(pass *analysis.Pass, expr ast.Expr, params map[types.Object]bool) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return params[pass.TypesInfo.Uses[id]]
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

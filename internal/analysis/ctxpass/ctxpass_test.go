@@ -1,0 +1,15 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/ctxpass"
+)
+
+func TestCtxpass(t *testing.T) {
+	analysistest.Run(t, ctxpass.Analyzer, "testdata",
+		"eventmatch/internal/match",
+		"eventmatch/toplevel",
+	)
+}

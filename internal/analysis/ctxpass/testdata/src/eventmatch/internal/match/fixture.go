@@ -1,0 +1,50 @@
+// Fixture for the ctxpass analyzer: an internal package where fresh contexts
+// must not be minted while a context parameter is in scope.
+package match
+
+import "context"
+
+func search(ctx context.Context) error {
+	if err := helper(context.Background()); err != nil { // want `context.Background\(\) severs the cancellation chain`
+		return err
+	}
+	return helper(ctx) // threading the parameter: accepted
+}
+
+func todoCall(ctx context.Context) error {
+	return helper(context.TODO()) // want `context.TODO\(\) severs the cancellation chain`
+}
+
+func nilFallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // nil-fallback idiom repairs the chain: accepted
+	}
+	return helper(ctx)
+}
+
+func entryPoint() error {
+	// No context parameter in scope: the documented uncancellable entry
+	// point. Accepted.
+	return helper(context.Background())
+}
+
+func closureInherits(ctx context.Context) func() error {
+	return func() error {
+		return helper(context.Background()) // want `severs the cancellation chain`
+	}
+}
+
+func closureOwnCtx() func(context.Context) error {
+	return func(ctx context.Context) error {
+		return helper(context.TODO()) // want `severs the cancellation chain`
+	}
+}
+
+func suppressed(ctx context.Context) error {
+	//matchlint:ignore ctxpass detached audit write must survive cancellation
+	return helper(context.Background())
+}
+
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}

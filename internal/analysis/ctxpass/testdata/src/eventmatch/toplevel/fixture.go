@@ -1,0 +1,15 @@
+// Fixture for the ctxpass analyzer: a package outside internal/... is not in
+// scope, so even a severed chain is accepted here.
+package toplevel
+
+import "context"
+
+// Run deliberately drops its context; the analyzer only patrols internal
+// packages.
+func Run(ctx context.Context) error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}

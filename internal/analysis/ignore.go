@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// ignoreRe matches a suppression directive:
+//
+//	//matchlint:ignore mapiter optional free-text reason
+//	//matchlint:ignore mapiter,ctxpass reason covering both
+//
+// The directive suppresses the named analyzers' diagnostics on its own line
+// and on the following line, so it works both as a trailing comment and as a
+// leading comment above the flagged statement.
+var ignoreRe = regexp.MustCompile(`^//\s*matchlint:ignore\s+([A-Za-z0-9_,]+)(\s|$)`)
+
+// ignoreSet records, per file and line, which analyzers are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+// collectIgnores scans the files' comments for directives.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					set.add(pos.Filename, pos.Line, name)
+					set.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = map[int]map[string]bool{}
+		s[file] = byLine
+	}
+	names := byLine[line]
+	if names == nil {
+		names = map[string]bool{}
+		byLine[line] = names
+	}
+	names[analyzer] = true
+}
+
+// ignored reports whether a diagnostic at the position is suppressed.
+func (s ignoreSet) ignored(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// filter drops suppressed diagnostics.
+func (s ignoreSet) filter(diags []Diagnostic) []Diagnostic {
+	if len(s) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.ignored(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

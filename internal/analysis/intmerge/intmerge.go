@@ -1,0 +1,107 @@
+// Package intmerge keeps the pattern engine's shard merges integral.
+//
+// Invariant guarded (PR 2): the parallel frequency engine owes its
+// bit-identical results to a simple algebraic fact — worker shards produce
+// integer match counts, and integer addition is associative and commutative,
+// so the merged total is independent of scheduling. Accumulating float64
+// partial results instead (say, merging per-shard frequencies) would make
+// the sum depend on shard order and break determinism at certain worker
+// counts only, the worst kind of flake. The analyzer therefore flags any
+// float64 addition (x + y, x += y) inside methods of the Engine type; the
+// single final normalization (an integer-to-float division) is untouched.
+// A deliberate post-normalization float sum can be suppressed with
+// //matchlint:ignore intmerge <reason>.
+package intmerge
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackage scopes the analyzer; EngineType names the worker-pool type
+// whose merge paths must stay integral.
+const (
+	TargetPackage = "internal/pattern"
+	EngineType    = "Engine"
+)
+
+// Analyzer flags float64 accumulation in Engine scan/merge paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "intmerge",
+	Doc:  "shard merges in pattern.Engine must accumulate integers, not float64",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathHas(pass.Pkg.Path(), TargetPackage) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if receiverTypeName(pass, fd) != EngineType {
+				continue
+			}
+			checkFloatAdds(pass, fd)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName returns the name of the method's receiver base type.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// checkFloatAdds reports float64 additions anywhere in the method body,
+// including inside worker closures (which is where merges actually happen).
+func checkFloatAdds(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isFloat64(pass, n) {
+				pass.Reportf(n.Pos(),
+					"float64 addition in %s.%s: shard merges and partial counts must stay integral until final normalization",
+					EngineType, fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isFloat64(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(),
+					"float64 accumulation in %s.%s: shard merges and partial counts must stay integral until final normalization",
+					EngineType, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isFloat64 reports whether the expression's static type is float64.
+func isFloat64(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}

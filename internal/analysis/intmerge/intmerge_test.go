@@ -1,0 +1,14 @@
+package intmerge_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/intmerge"
+)
+
+func TestIntmerge(t *testing.T) {
+	analysistest.Run(t, intmerge.Analyzer, "testdata",
+		"eventmatch/internal/pattern",
+	)
+}

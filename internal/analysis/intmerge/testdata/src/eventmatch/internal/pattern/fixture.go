@@ -1,0 +1,74 @@
+// Fixture for the intmerge analyzer: float64 accumulation inside methods of
+// the Engine type is flagged; integer merges, the final normalization
+// division, and float math outside Engine are accepted.
+package pattern
+
+// Engine mirrors the real worker-pool type by name.
+type Engine struct {
+	workers int
+}
+
+func (e *Engine) mergeCounts(parts []int) int { // integer merge: accepted
+	n := 0
+	for _, p := range parts {
+		n += p
+	}
+	return n
+}
+
+func (e *Engine) mergeFreqs(parts []float64) float64 {
+	f := 0.0
+	for _, p := range parts {
+		f += p // want `float64 accumulation in Engine.mergeFreqs`
+	}
+	return f
+}
+
+func (e *Engine) pairSum(a, b float64) float64 {
+	return a + b // want `float64 addition in Engine.pairSum`
+}
+
+func (e *Engine) normalize(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total) // division only: accepted
+}
+
+func (e *Engine) workerMerge(parts []float64) float64 {
+	total := 0.0
+	merge := func(x float64) {
+		total += x // want `float64 accumulation in Engine.workerMerge`
+	}
+	for _, p := range parts {
+		merge(p)
+	}
+	return total
+}
+
+func (e *Engine) weightedScore(fs []float64) float64 {
+	s := 0.0
+	for _, f := range fs {
+		//matchlint:ignore intmerge post-normalization aggregate, not a shard merge
+		s += f
+	}
+	return s
+}
+
+func freeSum(parts []float64) float64 { // not an Engine method: accepted
+	f := 0.0
+	for _, p := range parts {
+		f += p
+	}
+	return f
+}
+
+type scorer struct{}
+
+func (s *scorer) sum(parts []float64) float64 { // different receiver type: accepted
+	f := 0.0
+	for _, p := range parts {
+		f += p
+	}
+	return f
+}

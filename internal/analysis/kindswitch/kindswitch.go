@@ -1,0 +1,167 @@
+// Package kindswitch checks exhaustiveness of switches over the repo's
+// operator/kind enumerations.
+//
+// Invariant guarded: the pattern AST's operator (pattern.Op) and the
+// pattern classification (match.Kind) thread through the parser, the
+// dependency-graph translation, frequency evaluation and the matchers as
+// switch statements. Adding a new operator (say, an OR or a Kleene block)
+// must fail loudly at every site that has not been taught about it — a
+// switch that silently falls through to "do nothing" turns a new operator
+// into wrong frequencies with no diagnostic. The analyzer requires every
+// switch whose tag is one of the registered enum types to either carry a
+// default case (the explicit "everything else" decision) or name every
+// declared constant of the type.
+package kindswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"eventmatch/internal/analysis"
+)
+
+// EnumType identifies a registered enumeration by the last segment of its
+// defining package path and its type name.
+type EnumType struct {
+	PkgSegment string
+	TypeName   string
+}
+
+// EnumTypes are the switch tags whose case lists must be exhaustive.
+var EnumTypes = []EnumType{
+	{"pattern", "Op"},
+	{"match", "Kind"},
+	{"match", "Mode"},
+	{"match", "BoundKind"},
+}
+
+// Analyzer checks switch exhaustiveness over the registered enums.
+var Analyzer = &analysis.Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over pattern.Op / match.Kind must cover every constant or have a default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := enumNamed(tv.Type)
+			if named == nil {
+				return true
+			}
+			consts := enumConstants(named)
+			if len(consts) < 2 {
+				return true
+			}
+			covered, hasDefault := coveredValues(pass, sw)
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[constant.Val(c.Val()).(int64)] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over %s.%s is not exhaustive: missing %s (add the cases or an explicit default)",
+					named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enumNamed returns the tag's named type when it is a registered enum.
+func enumNamed(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	segs := strings.Split(obj.Pkg().Path(), "/")
+	last := segs[len(segs)-1]
+	for _, e := range EnumTypes {
+		if e.PkgSegment == last && e.TypeName == obj.Name() {
+			return named
+		}
+	}
+	return nil
+}
+
+// enumConstants returns the constants of exactly this type declared in its
+// defining package, deduplicated by value (aliases count once), sorted by
+// value for stable diagnostics.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	byValue := map[int64]*types.Const{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, ok := constant.Val(c.Val()).(int64)
+		if !ok {
+			continue
+		}
+		if _, seen := byValue[v]; !seen {
+			byValue[v] = c
+		}
+	}
+	out := make([]*types.Const, 0, len(byValue))
+	for _, c := range byValue {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Val(out[i].Val()).(int64)
+		vj, _ := constant.Val(out[j].Val()).(int64)
+		return vi < vj
+	})
+	return out
+}
+
+// coveredValues collects the constant values named by the switch's cases.
+func coveredValues(pass *analysis.Pass, sw *ast.SwitchStmt) (map[int64]bool, bool) {
+	covered := map[int64]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if v, ok := constant.Val(tv.Value).(int64); ok {
+				covered[v] = true
+			}
+		}
+	}
+	return covered, hasDefault
+}

@@ -1,0 +1,15 @@
+package kindswitch_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/kindswitch"
+)
+
+func TestKindswitch(t *testing.T) {
+	analysistest.Run(t, kindswitch.Analyzer, "testdata",
+		"eventmatch/internal/pattern",
+		"eventmatch/internal/match",
+	)
+}

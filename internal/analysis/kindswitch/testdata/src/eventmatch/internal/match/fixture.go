@@ -1,0 +1,45 @@
+// Fixture for the kindswitch analyzer: match.Kind is registered; the local
+// flag type is not, so switches over it are unconstrained.
+package match
+
+// Kind mirrors the real pattern-classification enumeration.
+type Kind uint8
+
+const (
+	KindExact Kind = iota
+	KindPartial
+	KindNone
+)
+
+type flag uint8
+
+const (
+	flagOn flag = iota
+	flagOff
+)
+
+func describe(k Kind) string {
+	switch k { // want `switch over match.Kind is not exhaustive: missing KindPartial, KindNone`
+	case KindExact:
+		return "exact"
+	}
+	return ""
+}
+
+func exhaustive(k Kind) string {
+	switch k { // accepted
+	case KindExact, KindPartial:
+		return "matched"
+	case KindNone:
+		return "none"
+	}
+	return ""
+}
+
+func flagName(f flag) string {
+	switch f { // unregistered enum type: accepted
+	case flagOn:
+		return "on"
+	}
+	return ""
+}

@@ -1,0 +1,54 @@
+// Fixture for the kindswitch analyzer: pattern.Op is a registered enum, so
+// switches over it must name every constant or carry a default.
+package pattern
+
+// Op mirrors the real pattern-AST operator enumeration.
+type Op uint8
+
+const (
+	OpEvent Op = iota
+	OpSeq
+	OpAnd
+)
+
+// OpLast aliases OpAnd; aliases share a value and count once.
+const OpLast = OpAnd
+
+func opName(op Op) string {
+	switch op { // every constant covered (alias folds into OpAnd): accepted
+	case OpEvent:
+		return "event"
+	case OpSeq:
+		return "seq"
+	case OpAnd:
+		return "and"
+	}
+	return ""
+}
+
+func opClass(op Op) string {
+	switch op { // explicit default: accepted
+	case OpEvent:
+		return "leaf"
+	default:
+		return "composite"
+	}
+}
+
+func opArity(op Op) int {
+	switch op { // want `switch over pattern.Op is not exhaustive: missing OpAnd`
+	case OpEvent:
+		return 0
+	case OpSeq:
+		return 2
+	}
+	return 0
+}
+
+func opByte(op Op) byte {
+	switch byte(op) { // tag converted away from the enum type: accepted
+	case 0:
+		return 'e'
+	}
+	return '?'
+}

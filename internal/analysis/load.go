@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -export -deps -json` over the patterns and decodes the
+// package stream. -export populates each package's build-cache export-data
+// file, which is what lets the type-checker resolve imports without network
+// access or GOPATH source layouts.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,Module",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves import paths through
+// the export-data files recorded in exports (import path → file).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load parses and type-checks the non-test sources of every module package
+// matched by patterns (same syntax as the go tool; "" dir means the current
+// directory). Standard-library and external packages appear only as imports,
+// resolved through export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// CheckSource type-checks one package given its parsed files, resolving
+// imports first against deps (previously checked packages, keyed by import
+// path) and then against build-cache export data for everything else
+// (standard library or module packages, listed relative to dir). It exists
+// for the analysistest fixture runner, whose fixture packages live outside
+// the module's package graph.
+func CheckSource(dir, pkgPath string, fset *token.FileSet, files []*ast.File, deps map[string]*types.Package) (*types.Package, *types.Info, error) {
+	// Collect the import paths that deps cannot satisfy.
+	need := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path := spec.Path.Value
+			path = path[1 : len(path)-1] // strip quotes
+			if deps[path] == nil {
+				need[path] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(need) > 0 {
+		patterns := make([]string, 0, len(need))
+		for path := range need {
+			patterns = append(patterns, path)
+		}
+		listed, err := goList(dir, patterns...)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := &fallbackImporter{
+		local:  deps,
+		export: exportImporter(fset, exports),
+	}
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	return tpkg, info, nil
+}
+
+// fallbackImporter consults locally checked packages before export data.
+type fallbackImporter struct {
+	local  map[string]*types.Package
+	export types.Importer
+}
+
+func (fi *fallbackImporter) Import(path string) (*types.Package, error) {
+	if p := fi.local[path]; p != nil {
+		return p, nil
+	}
+	return fi.export.Import(path)
+}

@@ -1,0 +1,133 @@
+// Package mapiter flags range statements over maps in the scoring and
+// frequency packages, where Go's randomized map iteration order can leak
+// into results.
+//
+// Invariant guarded (PR 2): parallel pattern-frequency evaluation and every
+// score/summary path must be bit-identical run to run and worker count to
+// worker count. A single `for k := range m` feeding an accumulator, an
+// ordered output, or a float sum silently breaks that: iteration order is
+// deliberately randomized by the runtime. Iterate a deterministic slice
+// (e.g. the pattern's appearance-order event list, or sorted keys) instead.
+//
+// The canonical fix is accepted as-is: a range whose body only collects the
+// keys (or values) into a slice — `keys = append(keys, k)` — is not flagged,
+// since the collected slice is there to be sorted. Where unordered iteration
+// is genuinely intended — random cache-eviction victims, set membership
+// updates — suppress the finding with `//matchlint:ignore mapiter <reason>`
+// on or above the line.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackages are the path-segment runs naming the packages whose
+// determinism contract this analyzer enforces.
+var TargetPackages = []string{
+	"internal/match",
+	"internal/pattern",
+	"internal/assign",
+}
+
+// Analyzer flags range-over-map in the deterministic-result packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration in score/frequency paths; order must be deterministic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	applies := false
+	for _, target := range TargetPackages {
+		if analysis.PkgPathHas(pass.Pkg.Path(), target) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollection(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s: iteration order is nondeterministic; iterate a sorted or appearance-ordered slice, or annotate //matchlint:ignore mapiter",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollection recognizes the sort-before-iterate idiom's first half: a
+// body that is exactly `dst = append(dst, k)` where k is the range key (or
+// value) variable. The follow-up sort makes the eventual iteration
+// deterministic, so the collection loop itself is fine.
+func isKeyCollection(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	as, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || identObj(pass, arg0) == nil || identObj(pass, arg0) != identObj(pass, dst) {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := identObj(pass, arg1)
+	return obj != nil && (obj == rangeVar(pass, rng.Key) || obj == rangeVar(pass, rng.Value))
+}
+
+// identObj resolves an identifier to its object (use or definition).
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// rangeVar resolves a range clause variable expression to its object.
+func rangeVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identObj(pass, id)
+}

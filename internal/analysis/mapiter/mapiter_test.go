@@ -1,0 +1,15 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata",
+		"eventmatch/internal/pattern",
+		"eventmatch/internal/event",
+	)
+}

@@ -1,0 +1,12 @@
+// Fixture for the mapiter analyzer: internal/event is not a target package,
+// so even a bare map range is accepted here.
+package event
+
+// Alphabet counts distinct names; map order does not reach any result.
+func Alphabet(names map[string]int) int {
+	n := 0
+	for range names {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+// Fixture for the mapiter analyzer: internal/pattern is a target package,
+// so every range over a map must be flagged unless it is the key-collection
+// half of the sort-before-iterate idiom or carries an ignore directive.
+package pattern
+
+func sumValues(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m: iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func sumKeys(m map[int]int) int {
+	n := 0
+	for k := range m { // want `range over map`
+		n += k
+	}
+	return n
+}
+
+func sortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m { // key collection for the sort below: accepted
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+func collectValues(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m { // value collection: accepted
+		out = append(out, v)
+	}
+	return out
+}
+
+func evictOne(m map[string]int) {
+	//matchlint:ignore mapiter random eviction victim is the point
+	for k := range m {
+		delete(m, k)
+		return
+	}
+}
+
+func sumSlice(xs []int) int {
+	n := 0
+	for _, x := range xs { // slice range: accepted
+		n += x
+	}
+	return n
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

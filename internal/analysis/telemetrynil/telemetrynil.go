@@ -1,0 +1,210 @@
+// Package telemetrynil enforces the telemetry package's nil-receiver
+// contract.
+//
+// Invariant guarded (PR 3): disabled telemetry is represented by nil — a nil
+// *Registry hands out nil metrics, and every method on every telemetry
+// pointer type must be a no-op (not a panic) on a nil receiver, so
+// instrumented hot paths never need an enabled-check. The analyzer performs
+// two checks:
+//
+//  1. Inside internal/telemetry: every exported method with a pointer
+//     receiver must test the receiver against nil before its first use of a
+//     receiver field. Methods that never touch a receiver field directly
+//     (pure delegation, like WriteJSON calling r.Snapshot()) are accepted —
+//     calling a method on a nil receiver is well-defined as long as the
+//     callee upholds the same contract.
+//
+//  2. Everywhere else: no direct field access on values of the telemetry
+//     metric types (Counter, Gauge, Timer, Span, Registry, Progress) — all
+//     interaction must go through the nil-safe methods. Today the fields are
+//     unexported, so this arm guards against a future exported field quietly
+//     creating a nil-deref landmine in instrumented code.
+package telemetrynil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// TelemetryPath is the path-segment run identifying the telemetry package.
+const TelemetryPath = "internal/telemetry"
+
+// metricTypes are the telemetry types whose fields must stay behind methods.
+var metricTypes = map[string]bool{
+	"Counter":  true,
+	"Gauge":    true,
+	"Timer":    true,
+	"Span":     true,
+	"Registry": true,
+	"Progress": true,
+}
+
+// Analyzer enforces nil-receiver safety of the telemetry layer.
+var Analyzer = &analysis.Analyzer{
+	Name: "telemetrynil",
+	Doc:  "exported telemetry methods must nil-guard the receiver before field use",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathHas(pass.Pkg.Path(), TelemetryPath) {
+		checkMethods(pass)
+		return nil
+	}
+	checkFieldAccess(pass)
+	return nil
+}
+
+// checkMethods is arm 1: nil guards inside the telemetry package itself.
+func checkMethods(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := receiverObject(pass, fd)
+			if recv == nil {
+				continue // value receiver or unnamed: nothing to deref
+			}
+			firstField := firstFieldUse(pass, fd.Body, recv)
+			if !firstField.IsValid() {
+				continue // pure delegation: no direct receiver field use
+			}
+			guard := firstNilCheck(pass, fd.Body, recv)
+			if !guard.IsValid() || guard > firstField {
+				pass.Reportf(fd.Name.Pos(),
+					"exported method %s uses receiver field before a nil-receiver guard; a nil %s must be a no-op",
+					fd.Name.Name, recvTypeName(pass, recv))
+			}
+		}
+	}
+}
+
+// receiverObject returns the receiver variable when it is a named pointer
+// receiver, nil otherwise.
+func receiverObject(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if obj == nil {
+		return nil
+	}
+	if _, isPtr := obj.Type().(*types.Pointer); !isPtr {
+		return nil
+	}
+	return obj
+}
+
+func recvTypeName(pass *analysis.Pass, recv types.Object) string {
+	if ptr, ok := recv.Type().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			return "*" + named.Obj().Name()
+		}
+	}
+	return recv.Type().String()
+}
+
+// firstFieldUse returns the position of the first selection of a field
+// through the receiver (token.NoPos when the body never touches one).
+func firstFieldUse(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !first.IsValid() || sel.Pos() < first {
+			first = sel.Pos()
+		}
+		return true
+	})
+	return first
+}
+
+// firstNilCheck returns the position of the first `recv == nil` /
+// `recv != nil` comparison in the body (token.NoPos when absent).
+func firstNilCheck(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) token.Pos {
+	first := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !comparesToNil(pass, be, recv) {
+			return true
+		}
+		if !first.IsValid() || be.Pos() < first {
+			first = be.Pos()
+		}
+		return true
+	})
+	return first
+}
+
+func comparesToNil(pass *analysis.Pass, be *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+		return isNilConst
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isRecv(be.Y) && isNil(be.X))
+}
+
+// checkFieldAccess is arm 2: no field pokes from outside the package.
+func checkFieldAccess(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			named := namedRecv(s.Recv())
+			if named == nil {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || !analysis.PkgPathHas(obj.Pkg().Path(), TelemetryPath) {
+				return true
+			}
+			if !metricTypes[obj.Name()] {
+				return true // Snapshot and friends are plain data: fields are the API
+			}
+			pass.Reportf(sel.Pos(),
+				"direct field access on telemetry.%s: go through its nil-safe methods", obj.Name())
+			return true
+		})
+	}
+}
+
+// namedRecv unwraps a selection receiver type to its named struct type.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,15 @@
+package telemetrynil_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/telemetrynil"
+)
+
+func TestTelemetrynil(t *testing.T) {
+	analysistest.Run(t, telemetrynil.Analyzer, "testdata",
+		"eventmatch/internal/telemetry",
+		"eventmatch/consumer",
+	)
+}

@@ -1,0 +1,24 @@
+// Fixture for the telemetrynil analyzer, arm 2: code outside the telemetry
+// package must reach metrics only through their nil-safe methods, never
+// through fields.
+package consumer
+
+import "eventmatch/internal/telemetry"
+
+func Bump(c *telemetry.Counter) int64 {
+	c.N++ // want `direct field access on telemetry.Counter`
+	return c.Value()
+}
+
+func Safe(c *telemetry.Counter) int64 {
+	c.Inc() // method call: accepted
+	return c.Value()
+}
+
+func Total(s *telemetry.Snapshot) int64 {
+	var n int64
+	for _, v := range s.Counters { // Snapshot is plain data: accepted
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+// Fixture for the telemetrynil analyzer, arm 1: exported pointer-receiver
+// methods inside the telemetry package must nil-guard the receiver before
+// touching its fields. Counter carries an exported field so the consumer
+// fixture can exercise arm 2 (direct field access from outside).
+package telemetry
+
+// Counter mirrors the real metric shape.
+type Counter struct {
+	N int64
+}
+
+func (c *Counter) Inc() { // guard before field use: accepted
+	if c == nil {
+		return
+	}
+	c.N++
+}
+
+func (c *Counter) Add(n int64) { // want `exported method Add uses receiver field before a nil-receiver guard`
+	c.N += n
+}
+
+func (c *Counter) Value() int64 { // != nil guard also counts: accepted
+	if c != nil {
+		return c.N
+	}
+	return 0
+}
+
+func (c *Counter) Double() { // pure delegation, no direct field use: accepted
+	c.Add(c.Value())
+}
+
+func (c *Counter) reset() { // unexported: outside the public contract
+	c.N = 0
+}
+
+// Gauge demonstrates that guard position matters.
+type Gauge struct {
+	v int64
+}
+
+func (g *Gauge) Set(n int64) { // want `exported method Set uses receiver field before a nil-receiver guard`
+	g.v = n
+}
+
+func (g *Gauge) Value() int64 { // want `exported method Value uses receiver field before a nil-receiver guard`
+	n := g.v
+	if g == nil {
+		return 0
+	}
+	return n
+}
+
+// Span has a value receiver: nothing to nil-deref, so it is exempt.
+type Span struct {
+	C *Counter
+}
+
+func (s Span) Stop() {
+	if s.C != nil {
+		s.C.Inc()
+	}
+}
+
+// Snapshot is plain data, not a metric type: exported fields are its API.
+type Snapshot struct {
+	Counters map[string]int64
+}

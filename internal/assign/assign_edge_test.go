@@ -1,0 +1,110 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkAgainstBruteForce requires Max and BruteForceMax to agree on the
+// total weight and requires Max's assignment to be injective and to actually
+// attain the total it reports.
+func checkAgainstBruteForce(t *testing.T, w [][]float64) {
+	t.Helper()
+	m, total, err := Max(w)
+	if err != nil {
+		t.Fatalf("Max: %v", err)
+	}
+	_, want, err := BruteForceMax(w)
+	if err != nil {
+		t.Fatalf("BruteForceMax: %v", err)
+	}
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("Max total = %v, brute force says %v (w=%v)", total, want, w)
+	}
+	cols := 0
+	if len(w) > 0 {
+		cols = len(w[0])
+	}
+	used := map[int]bool{}
+	attained := 0.0
+	for i, j := range m {
+		if j < 0 {
+			continue
+		}
+		if j >= cols {
+			t.Fatalf("row %d assigned to nonexistent column %d", i, j)
+		}
+		if used[j] {
+			t.Fatalf("column %d assigned twice (m=%v)", j, m)
+		}
+		used[j] = true
+		attained += w[i][j]
+	}
+	if math.Abs(attained-total) > 1e-9 {
+		t.Fatalf("assignment attains %v but Max reported %v", attained, total)
+	}
+}
+
+func TestMaxAllZeroWeights(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {3, 3}, {2, 5}, {5, 2}, {4, 1}, {1, 4}}
+	for _, s := range shapes {
+		w := make([][]float64, s[0])
+		for i := range w {
+			w[i] = make([]float64, s[1])
+		}
+		m, total, err := Max(w)
+		if err != nil {
+			t.Fatalf("%dx%d all-zero: %v", s[0], s[1], err)
+		}
+		if total != 0 {
+			t.Errorf("%dx%d all-zero: total = %v, want 0", s[0], s[1], total)
+		}
+		used := map[int]bool{}
+		assigned := 0
+		for _, j := range m {
+			if j < 0 {
+				continue
+			}
+			if used[j] {
+				t.Fatalf("%dx%d all-zero: column %d assigned twice", s[0], s[1], j)
+			}
+			used[j] = true
+			assigned++
+		}
+		if want := min(s[0], s[1]); assigned != want {
+			t.Errorf("%dx%d all-zero: %d rows assigned, want %d", s[0], s[1], assigned, want)
+		}
+	}
+}
+
+func TestMaxSingleVertex(t *testing.T) {
+	checkAgainstBruteForce(t, [][]float64{{7}})
+	checkAgainstBruteForce(t, [][]float64{{0}})
+	checkAgainstBruteForce(t, [][]float64{{-3}})
+	// One row picking among many columns, and many rows contending for one
+	// column: the degenerate shapes of the padding logic.
+	checkAgainstBruteForce(t, [][]float64{{2, 9, 4, 1}})
+	checkAgainstBruteForce(t, [][]float64{{2}, {9}, {4}, {1}})
+}
+
+func TestMaxNonSquareAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{2, 3}, {3, 2}, {2, 6}, {6, 2}, {3, 5}, {5, 3}, {4, 5}, {5, 4}}
+	for _, s := range shapes {
+		for trial := 0; trial < 20; trial++ {
+			w := make([][]float64, s[0])
+			for i := range w {
+				w[i] = make([]float64, s[1])
+				for j := range w[i] {
+					// Mix of scales, exact ties and negatives.
+					w[i][j] = math.Floor(rng.Float64()*10) / 2
+					if rng.Intn(4) == 0 {
+						w[i][j] = -w[i][j]
+					}
+				}
+			}
+			checkAgainstBruteForce(t, w)
+		}
+	}
+}

@@ -194,6 +194,7 @@ rounds:
 		}
 	}
 	pr.stripArtificial(m)
+	assertInjective("advanced result", m)
 	if reason, halt := stop.halted(); halt {
 		st.Truncated = true
 		st.StopReason = reason

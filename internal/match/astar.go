@@ -168,6 +168,7 @@ func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTe
 	for q.Len() > 0 {
 		cur := heap.Pop(q).(*node)
 		if cur.depth == depthGoal {
+			assertInjective("astar goal", cur.m)
 			st.Elapsed = time.Since(start)
 			st.Score = cur.g
 			if pruned {
@@ -254,6 +255,7 @@ func (pr *Problem) truncateAStar(q *nodeHeap, opts Options, st *Stats, reason st
 	m := best.m.Clone()
 	used := append([]bool(nil), best.used...)
 	pr.completeGreedy(m, used, opts)
+	assertInjective("astar anytime completion", m)
 	st.Truncated = true
 	st.StopReason = reason
 	st.Score = pr.Distance(m)
@@ -272,6 +274,7 @@ func pruneFrontier(q *nodeHeap, max int) {
 	}
 	*q = nodes[:max]
 	heap.Init(q)
+	assertHeapInvariant("pruned frontier", q)
 }
 
 // completeGreedy fills every unmapped source event of m, in expansion order,

@@ -1,0 +1,11 @@
+//go:build !matchdebug
+
+package match
+
+// debugAssertions reports whether the matchdebug runtime assertions are
+// compiled in. This is the normal build: assertions compile to nothing.
+const debugAssertions = false
+
+func assertInjective(label string, m Mapping) {}
+
+func assertHeapInvariant(label string, q *nodeHeap) {}

@@ -1,0 +1,45 @@
+//go:build matchdebug
+
+package match
+
+import (
+	"fmt"
+
+	"eventmatch/internal/event"
+)
+
+// debugAssertions reports whether the matchdebug runtime assertions are
+// compiled in (`go test -tags matchdebug ./...`). In normal builds the
+// assertion functions are empty and the constant is false, so the hot paths
+// pay nothing.
+const debugAssertions = true
+
+// assertInjective panics when m maps two source events to the same target —
+// the injectivity every search result and anytime completion must uphold.
+func assertInjective(label string, m Mapping) {
+	seen := make(map[event.ID]event.ID, len(m))
+	for v1, v2 := range m {
+		if v2 == event.None {
+			continue
+		}
+		if prev, dup := seen[v2]; dup {
+			panic(fmt.Sprintf("matchdebug: %s: mapping not injective: v1 %d and v1 %d both map to v2 %d",
+				label, prev, v1, v2))
+		}
+		seen[v2] = event.ID(v1)
+	}
+}
+
+// assertHeapInvariant panics when q violates the container/heap ordering:
+// no child may sort before its parent. Checked after beam pruning, which
+// rebuilds the heap wholesale with heap.Init.
+func assertHeapInvariant(label string, q *nodeHeap) {
+	n := q.Len()
+	for child := 1; child < n; child++ {
+		parent := (child - 1) / 2
+		if q.Less(child, parent) {
+			panic(fmt.Sprintf("matchdebug: %s: heap invariant broken: node %d (f=%g) sorts before its parent %d (f=%g)",
+				label, child, (*q)[child].g+(*q)[child].h, parent, (*q)[parent].g+(*q)[parent].h))
+		}
+	}
+}

@@ -1,0 +1,56 @@
+//go:build matchdebug
+
+package match
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eventmatch/internal/event"
+)
+
+func TestDebugAssertionsEnabled(t *testing.T) {
+	if !debugAssertions {
+		t.Fatal("built with -tags matchdebug but debugAssertions is false")
+	}
+}
+
+// mustPanic runs fn and requires a panic whose message contains substr.
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		t.Helper()
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q, got none", substr)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+func TestAssertInjective(t *testing.T) {
+	assertInjective("ok", Mapping{3, event.None, 4})
+	assertInjective("ok-empty", NewMapping(5))
+	mustPanic(t, "not injective", func() {
+		assertInjective("dup", Mapping{3, event.None, 3})
+	})
+}
+
+func TestAssertHeapInvariant(t *testing.T) {
+	good := &nodeHeap{
+		&node{g: 1}, &node{g: 5}, &node{g: 3}, &node{g: 2},
+	}
+	heap.Init(good)
+	assertHeapInvariant("ok", good)
+
+	// A max-heap whose child outranks its parent is corrupt.
+	bad := &nodeHeap{&node{g: 1}, &node{g: 5}}
+	mustPanic(t, "heap invariant", func() {
+		assertHeapInvariant("corrupt", bad)
+	})
+}

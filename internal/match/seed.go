@@ -147,6 +147,7 @@ func (pr *Problem) seedFromPatterns(st *Stats, stop *stopper) [][2]int {
 		}
 	}
 
+	assertInjective("pattern seed anchors", assigned)
 	var out [][2]int
 	for v1, v2 := range assigned {
 		if v2 != event.None {

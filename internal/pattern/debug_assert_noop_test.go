@@ -1,0 +1,24 @@
+//go:build !matchdebug
+
+package pattern
+
+import (
+	"context"
+	"testing"
+
+	"eventmatch/internal/event"
+)
+
+// TestDebugAssertionsDisabled pins the normal-build contract: the assertion
+// layer compiles to nothing, so even a wildly wrong merged count must not
+// panic.
+func TestDebugAssertionsDisabled(t *testing.T) {
+	if debugAssertions {
+		t.Fatal("debugAssertions is true in a build without -tags matchdebug")
+	}
+	l := event.FromStrings("ab", "ba")
+	ix := NewTraceIndex(l)
+	e := NewEngine(ix, 1)
+	p := MustSeq(Single(0), Single(1))
+	e.assertShardSum(context.Background(), p, ix.Candidates(p.Events()), 999)
+}

@@ -1,0 +1,11 @@
+//go:build !matchdebug
+
+package pattern
+
+import "context"
+
+// debugAssertions reports whether the matchdebug runtime assertions are
+// compiled in. This is the normal build: assertions compile to nothing.
+const debugAssertions = false
+
+func (e *Engine) assertShardSum(ctx context.Context, p *Pattern, cand []int32, merged int) {}

@@ -1,0 +1,34 @@
+//go:build matchdebug
+
+package pattern
+
+import (
+	"context"
+	"fmt"
+)
+
+// debugAssertions reports whether the matchdebug runtime assertions are
+// compiled in (`go test -tags matchdebug ./...`). In normal builds the
+// assertion functions are empty and the constant is false.
+const debugAssertions = true
+
+// assertShardSum panics when a parallel scan's merged match count differs
+// from a sequential recount of the same candidate list — the bit-identical
+// merge contract of the worker-pool engine. The recount is skipped when the
+// scan's context was canceled (the merged count is then allowed to be
+// anything; the caller discards it).
+func (e *Engine) assertShardSum(ctx context.Context, p *Pattern, cand []int32, merged int) {
+	if ctx.Err() != nil {
+		return
+	}
+	n := 0
+	for _, ti := range cand {
+		if p.MatchesTrace(e.ix.log.Traces[ti]) {
+			n++
+		}
+	}
+	if n != merged {
+		panic(fmt.Sprintf("matchdebug: shard merge produced %d matches over %d candidates, sequential recount says %d",
+			merged, len(cand), n))
+	}
+}

@@ -269,6 +269,7 @@ func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (in
 		}
 		n += counts[g]
 	}
+	e.assertShardSum(ctx, p, cand, n)
 	if tele != nil {
 		tele.matches.Add(int64(n))
 	}

@@ -94,7 +94,9 @@ func compose(op Op, subs []*Pattern) (*Pattern, error) {
 			return nil, fmt.Errorf("pattern: nil sub-pattern")
 		}
 		p.size += s.size
-		for v := range s.events {
+		// Iterate the appearance-order slice, not the event set: with several
+		// shared events the reported duplicate must not depend on map order.
+		for _, v := range s.order {
 			if p.events[v] {
 				return nil, fmt.Errorf("pattern: duplicate event %d (pattern events must be distinct)", v)
 			}
@@ -288,7 +290,7 @@ func (p *Pattern) collectEdges(edges *[]depgraph.Edge) {
 // certainly 0. (The converse does not hold.) All pattern events must be
 // valid vertices of g; out-of-range events simply fail the check.
 func (p *Pattern) ExistsIn(g *depgraph.Graph) bool {
-	for v := range p.events {
+	for _, v := range p.order {
 		if int(v) >= g.NumVertices() || g.VertexFreq(v) == 0 {
 			return false
 		}

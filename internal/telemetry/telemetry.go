@@ -170,12 +170,23 @@ type Snapshot struct {
 	Timers   map[string]TimerValue `json:"timers,omitempty"`
 }
 
-// Counter returns the named counter's value (0 when absent). Convenience for
+// Counter returns the named counter's value (0 when absent, or on a nil
+// snapshot — e.g. Stats.Telemetry of an uninstrumented run). Convenience for
 // assertions and progress lines.
-func (s *Snapshot) Counter(name string) int64 { return s.Counters[name] }
+func (s *Snapshot) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[name]
+}
 
-// Gauge returns the named gauge's value (0 when absent).
-func (s *Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+// Gauge returns the named gauge's value (0 when absent or on a nil snapshot).
+func (s *Snapshot) Gauge(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Gauges[name]
+}
 
 // Registry is a named collection of metrics. The zero value is ready to use;
 // a nil *Registry hands out nil metrics whose methods are all no-ops, so
@@ -316,8 +327,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 
 // Summary renders the snapshot as a single "k=v k=v ..." line with names
 // sorted, counters and gauges only — the progress-line format. Timers are
-// rendered as name.ms with millisecond totals.
+// rendered as name.ms with millisecond totals. Empty on a nil snapshot.
 func (s *Snapshot) Summary() string {
+	if s == nil {
+		return ""
+	}
 	type kv struct {
 		k string
 		v int64
