@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"eventmatch"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/logio"
+)
+
+// TestMain lets the test binary impersonate the CLI: with
+// EVENTMATCH_BE_MAIN=1 it runs main() instead of the tests, so the signal
+// regression test below exercises the real process entrypoint — signal
+// installation, anytime truncation, and the documented exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("EVENTMATCH_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// TestSubprocessSIGTERMPrintsPartialMapping is the regression test for
+// graceful termination: a SIGTERM (not just SIGINT) mid-search must stop the
+// run via the anytime path — best-so-far mapping on stdout, a "stopped
+// early" notice on stderr, and the documented truncation exit code 3.
+func TestSubprocessSIGTERMPrintsPartialMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	// A 14-event random pair keeps the exact search busy for seconds —
+	// long enough to guarantee the signal lands mid-search.
+	g := gen.RandomPair(7, 14, 60, 12)
+	write := func(name string, l *eventmatch.Log) string {
+		path := filepath.Join(dir, name)
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	l1 := write("l1.log", g.L1)
+	l2 := write("l2.log", g.L2)
+	pats := filepath.Join(dir, "patterns.txt")
+	if err := os.WriteFile(pats, []byte(strings.Join(g.Patterns, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0],
+		"-algorithm", "exact",
+		"-patterns", pats,
+		"-timeout", "5m",
+		"-stats",
+		l1, l2)
+	cmd.Env = append(os.Environ(), "EVENTMATCH_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the process time to load the logs and enter the search.
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case <-waitErr:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("CLI did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != exitTruncated {
+		t.Fatalf("exit code %d after SIGTERM, want %d (truncated)\nstdout:\n%s\nstderr:\n%s",
+			code, exitTruncated, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), " -> ") {
+		t.Errorf("no partial mapping on stdout after SIGTERM:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "stopped early") {
+		t.Errorf("stderr missing the anytime truncation notice:\n%s", stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stop=canceled") {
+		t.Errorf("stats line missing stop=canceled:\n%s", stdout.String())
+	}
+}

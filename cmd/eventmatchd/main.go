@@ -1,0 +1,181 @@
+// Command eventmatchd is the event-matching daemon: a long-running HTTP
+// service that accepts matching jobs (two event logs, optional patterns and
+// ground truth), runs them on a bounded worker pool behind an
+// admission-controlled queue, and serves the asynchronous job lifecycle —
+// submit, poll with in-flight progress, fetch result, cancel.
+//
+// Usage:
+//
+//	eventmatchd [flags]
+//
+// Flags:
+//
+//	-addr            listen address (default 127.0.0.1:8080; use :0 for an
+//	                 ephemeral port — the bound address is printed on stdout)
+//	-workers         concurrent jobs (default 2)
+//	-queue-depth     admission queue depth; beyond it submissions get 429
+//	                 with Retry-After (default 8)
+//	-search-workers  per-job search parallelism and its clamp (default 1)
+//	-deadline        default per-job search budget (default 30s)
+//	-max-deadline    clamp for client-requested budgets (default 5m)
+//	-max-upload-bytes  request body / per-log size cap (default 32 MiB)
+//	-drain-timeout   how long a shutdown waits for in-flight jobs before
+//	                 force-canceling them into anytime results (default 15s)
+//	-metrics-json FILE  write the final telemetry snapshot here on exit
+//
+// The daemon drains gracefully on SIGINT or SIGTERM: admission stops
+// (submissions answer 503, /healthz reports draining), queued and running
+// jobs get -drain-timeout to finish, anything still running is then
+// force-canceled — the anytime searches checkpoint a truncated best-so-far
+// result instead of losing the job — metrics are flushed, and the process
+// exits 0.
+//
+// Exit codes: 0 after a clean drain, 1 on startup or serve errors, 2 on
+// usage errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eventmatch/internal/server"
+	"eventmatch/internal/telemetry"
+)
+
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+type daemonOptions struct {
+	addr           string
+	workers        int
+	queueDepth     int
+	searchWorkers  int
+	deadline       time.Duration
+	maxDeadline    time.Duration
+	maxUploadBytes int64
+	drainTimeout   time.Duration
+	metricsJSON    string
+}
+
+func main() {
+	fs := flag.NewFlagSet("eventmatchd", flag.ExitOnError)
+	o := parseFlags(fs, os.Args[1:])
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, o, os.Stdout, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eventmatchd:", err)
+	}
+	os.Exit(code)
+}
+
+func parseFlags(fs *flag.FlagSet, args []string) daemonOptions {
+	var o daemonOptions
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (:0 = ephemeral port)")
+	fs.IntVar(&o.workers, "workers", 2, "concurrent jobs")
+	fs.IntVar(&o.queueDepth, "queue-depth", 8, "admission queue depth (full queue = 429)")
+	fs.IntVar(&o.searchWorkers, "search-workers", 1, "per-job search parallelism")
+	fs.DurationVar(&o.deadline, "deadline", 30*time.Second, "default per-job search budget")
+	fs.DurationVar(&o.maxDeadline, "max-deadline", 5*time.Minute, "clamp for client-requested budgets")
+	fs.Int64Var(&o.maxUploadBytes, "max-upload-bytes", 32<<20, "request body size cap")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight jobs")
+	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the final telemetry snapshot to this file on exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: eventmatchd [flags]\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args) // ExitOnError: Parse handles its own failures
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(exitUsage)
+	}
+	return o
+}
+
+// run boots the daemon and blocks until ctx is canceled (the signal path)
+// and the drain completes. onReady, when non-nil, receives the bound address
+// once the listener is up — tests use it instead of scraping stdout.
+func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(addr string)) (int, error) {
+	reg := telemetry.NewRegistry()
+	if err := reg.PublishExpvar("eventmatchd"); err != nil {
+		return exitError, err
+	}
+	srv := server.New(server.Config{
+		Workers:         o.workers,
+		QueueDepth:      o.queueDepth,
+		SearchWorkers:   o.searchWorkers,
+		DefaultDeadline: o.deadline,
+		MaxDeadline:     o.maxDeadline,
+		MaxUploadBytes:  o.maxUploadBytes,
+		Telemetry:       reg,
+	})
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return exitError, err
+	}
+	fmt.Fprintf(stdout, "eventmatchd listening on http://%s\n", ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died out from under us; nothing to drain into.
+		srv.Shutdown(context.Background()) //nolint:errcheck // always nil
+		return exitError, err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting first (job submission checks the
+	// draining flag before the HTTP server closes), give in-flight jobs
+	// their grace, then force-cancel into anytime results.
+	fmt.Fprintln(stdout, "eventmatchd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return exitError, err
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return exitError, err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return exitError, err
+	}
+
+	if o.metricsJSON != "" {
+		if err := writeMetricsJSON(reg, o.metricsJSON); err != nil {
+			return exitError, err
+		}
+	}
+	fmt.Fprintln(stdout, "eventmatchd: drained")
+	return exitOK, nil
+}
+
+func writeMetricsJSON(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,445 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"eventmatch/internal/gen"
+	"eventmatch/internal/logio"
+	"eventmatch/internal/server"
+	"eventmatch/internal/server/client"
+	"eventmatch/internal/telemetry"
+
+	"eventmatch"
+)
+
+// TestMain lets the test binary impersonate the daemon: with
+// EVENTMATCHD_BE_MAIN=1 it runs main() instead of the tests, so subprocess
+// tests (SIGTERM drain, the e2e gate) exercise the real binary entrypoint
+// without a separate `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv("EVENTMATCHD_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func testOptions() daemonOptions {
+	return daemonOptions{
+		addr:           "127.0.0.1:0",
+		workers:        2,
+		queueDepth:     4,
+		searchWorkers:  1,
+		deadline:       10 * time.Second,
+		maxDeadline:    time.Minute,
+		maxUploadBytes: 4 << 20,
+		drainTimeout:   5 * time.Second,
+	}
+}
+
+func fig1Inputs(t *testing.T) (log1, log2, patterns, truth []byte) {
+	t.Helper()
+	g := gen.Fig1()
+	render := func(l *eventmatch.Log) []byte {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	var tb strings.Builder
+	for v1, v2 := range g.Truth {
+		if v2 >= 0 {
+			fmt.Fprintf(&tb, "%s -> %s\n", g.L1.Alphabet.Name(eventmatch.EventID(v1)), g.L2.Alphabet.Name(v2))
+		}
+	}
+	return render(g.L1), render(g.L2),
+		[]byte(strings.Join(g.Patterns, "\n") + "\n"), []byte(tb.String())
+}
+
+// TestRunServesAndDrains boots run() in-process, completes one real job
+// through the client, then cancels the context (the signal path) and
+// expects a clean drain with a metrics file left behind.
+func TestRunServesAndDrains(t *testing.T) {
+	o := testOptions()
+	o.metricsJSON = filepath.Join(t.TempDir(), "metrics.json")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan struct{})
+	var (
+		code   int
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		code, runErr = run(ctx, o, io.Discard, func(addr string) { ready <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	c := client.New("http://"+addr, nil)
+	cctx, ccancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer ccancel()
+	if err := c.Health(cctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	log1, log2, patterns, truth := fig1Inputs(t)
+	st, err := c.SubmitUpload(cctx,
+		client.Upload{Name: "l1.log", Data: log1},
+		client.Upload{Name: "l2.log", Data: log2},
+		patterns, truth,
+		server.SubmitRequest{Algorithm: "heuristic-advanced"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(cctx, st.ID, 5*time.Millisecond)
+	if err != nil || final.State != server.StateDone {
+		t.Fatalf("wait: %v (state %s)", err, final.State)
+	}
+	res, err := c.Result(cctx, st.ID)
+	if err != nil || len(res.Pairs) == 0 {
+		t.Fatalf("result: %v (%d pairs)", err, len(res.Pairs))
+	}
+
+	cancel() // the SIGINT/SIGTERM path
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if runErr != nil || code != exitOK {
+		t.Fatalf("run returned %d, %v", code, runErr)
+	}
+
+	data, err := os.ReadFile(o.metricsJSON)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, data)
+	}
+	if snap.Counter("server.jobs_completed") == 0 {
+		t.Errorf("flushed metrics missing completions:\n%s", data)
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	o := testOptions()
+	o.addr = "256.0.0.1:bad"
+	code, err := run(context.Background(), o, io.Discard, nil)
+	if err == nil || code != exitError {
+		t.Fatalf("run = %d, %v; want exit 1 with error", code, err)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("eventmatchd", flag.ContinueOnError)
+	o := parseFlags(fs, []string{"-addr", ":0", "-workers", "3", "-queue-depth", "5"})
+	if o.addr != ":0" || o.workers != 3 || o.queueDepth != 5 {
+		t.Fatalf("parsed %+v", o)
+	}
+	if o.deadline != 30*time.Second || o.drainTimeout != 15*time.Second {
+		t.Fatalf("defaults drifted: %+v", o)
+	}
+}
+
+// startDaemon re-execs the test binary as the real daemon and scrapes the
+// bound address off stdout.
+func startDaemon(t *testing.T, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EVENTMATCHD_BE_MAIN=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "eventmatchd listening on http://"); ok {
+				addrCh <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr, &stderr
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon subprocess never announced its address; stderr:\n%s", stderr.String())
+		return nil, "", nil
+	}
+}
+
+// TestSubprocessSIGTERMDrains sends the real binary a SIGTERM mid-serve and
+// requires exit code 0 — the graceful-drain contract at the process level.
+func TestSubprocessSIGTERMDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	cmd, addr, stderr := startDaemon(t, "-addr", "127.0.0.1:0", "-metrics-json", metrics)
+
+	c := client.New("http://"+addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Errorf("metrics not flushed on SIGTERM: %v", err)
+	}
+}
+
+// TestE2EServe is the CI end-to-end gate (set EVENTMATCHD_E2E=1): the real
+// daemon process serves the full lifecycle against the Fig. 1 workload —
+// submit → poll → result, parity with the cmd/eventmatch CLI on the same
+// inputs, backpressure 429 when the queue is full, cancel mid-search,
+// nonzero server telemetry, and a graceful SIGTERM exit 0.
+func TestE2EServe(t *testing.T) {
+	if os.Getenv("EVENTMATCHD_E2E") != "1" {
+		t.Skip("set EVENTMATCHD_E2E=1 to run the end-to-end serve gate")
+	}
+	dir := t.TempDir()
+	log1, log2, patterns, truth := fig1Inputs(t)
+	paths := map[string][]byte{
+		"l1.log": log1, "l2.log": log2, "patterns.txt": patterns, "truth.txt": truth,
+	}
+	for name, data := range paths {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	metrics := filepath.Join(dir, "metrics.json")
+	cmd, addr, stderr := startDaemon(t,
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-queue-depth", "1",
+		"-metrics-json", metrics)
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	c := client.New("http://"+addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// 1. Full cycle: submit the Fig. 1 job, poll to done, fetch the result.
+	st, err := c.SubmitUpload(ctx,
+		client.Upload{Name: "l1.log", Data: log1},
+		client.Upload{Name: "l2.log", Data: log2},
+		patterns, truth,
+		server.SubmitRequest{Algorithm: "heuristic-advanced", TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil || final.State != server.StateDone {
+		t.Fatalf("wait: %v (state %s, err %q)", err, final.State, final.Error)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if res.Quality == nil || res.Quality.FMeasure <= 0 {
+		t.Fatalf("quality missing or zero: %+v", res.Quality)
+	}
+
+	// 2. Parity: the CLI on the same inputs must print the same mapping.
+	cliPairs, cliScore := runCLI(t, dir)
+	if len(cliPairs) != len(res.Pairs) {
+		t.Fatalf("daemon %d pairs, CLI %d pairs\ndaemon: %v\ncli: %v",
+			len(res.Pairs), len(cliPairs), res.Pairs, cliPairs)
+	}
+	for k, v := range cliPairs {
+		if res.Pairs[k] != v {
+			t.Errorf("pair %s: daemon %q, CLI %q", k, res.Pairs[k], v)
+		}
+	}
+	if fmt.Sprintf("%.4f", res.Score) != cliScore {
+		t.Errorf("daemon score %.4f, CLI score %s", res.Score, cliScore)
+	}
+
+	// 3. Backpressure: a slow exact job + one queued job fill the 1-worker /
+	// 1-slot daemon; the next submission must be rejected with 429.
+	g := gen.RandomPair(3, 14, 60, 12)
+	render := func(l *eventmatch.Log) []byte {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	slowReq := server.SubmitRequest{Algorithm: "exact", TimeoutMS: 120_000}
+	slow1, err := c.SubmitUpload(ctx, client.Upload{Name: "s1.log", Data: render(g.L1)},
+		client.Upload{Name: "s2.log", Data: render(g.L2)},
+		[]byte(strings.Join(g.Patterns, "\n")), nil, slowReq)
+	if err != nil {
+		t.Fatalf("slow submit 1: %v", err)
+	}
+	slow2, err := c.SubmitUpload(ctx, client.Upload{Name: "s1.log", Data: render(g.L1)},
+		client.Upload{Name: "s2.log", Data: render(g.L2)},
+		[]byte(strings.Join(g.Patterns, "\n")), nil, slowReq)
+	if err != nil {
+		t.Fatalf("slow submit 2: %v", err)
+	}
+	var sat *client.SaturatedError
+	_, err = c.SubmitUpload(ctx, client.Upload{Name: "s1.log", Data: render(g.L1)},
+		client.Upload{Name: "s2.log", Data: render(g.L2)},
+		[]byte(strings.Join(g.Patterns, "\n")), nil, slowReq)
+	if !errors.As(err, &sat) {
+		t.Fatalf("third submission error = %v, want 429/SaturatedError", err)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("Retry-After hint = %v, want > 0", sat.RetryAfter)
+	}
+
+	// 4. Cancel mid-search: the running exact job must come back done,
+	// truncated, with a best-so-far mapping and StopReason "canceled".
+	if _, err := c.Cancel(ctx, slow1.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	cfinal, err := c.Wait(ctx, slow1.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait canceled: %v", err)
+	}
+	if cfinal.State != server.StateDone || cfinal.StopReason != "canceled" {
+		t.Fatalf("canceled job: state %s stop %q, want done/canceled", cfinal.State, cfinal.StopReason)
+	}
+	cres, err := c.Result(ctx, slow1.ID)
+	if err != nil || len(cres.Pairs) == 0 || !cres.Truncated {
+		t.Fatalf("canceled result: %v (pairs %d, truncated %v)", err, len(cres.Pairs), cres.Truncated)
+	}
+	if _, err := c.Cancel(ctx, slow2.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if _, err := c.Wait(ctx, slow2.ID, 10*time.Millisecond); err != nil {
+		t.Fatalf("wait queued-canceled: %v", err)
+	}
+
+	// 5. Telemetry: the live snapshot must show real server activity.
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, counter := range []string{"server.jobs_submitted", "server.jobs_completed", "server.jobs_rejected", "server.jobs_canceled"} {
+		if snap.Counter(counter) == 0 {
+			t.Errorf("telemetry counter %s = 0, want > 0\n%+v", counter, snap.Counters)
+		}
+	}
+	if _, ok := snap.Gauges["server.queue_capacity"]; !ok {
+		t.Errorf("telemetry missing queue capacity gauge: %+v", snap.Gauges)
+	}
+
+	// 6. Graceful SIGTERM: exit 0 and a flushed metrics file.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon hung on SIGTERM; stderr:\n%s", stderr.String())
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("flushed metrics: %v", err)
+	}
+	var flushed telemetry.Snapshot
+	if err := json.Unmarshal(data, &flushed); err != nil {
+		t.Fatalf("flushed metrics JSON: %v\n%s", err, data)
+	}
+	if flushed.Counter("server.jobs_completed") == 0 {
+		t.Errorf("flushed metrics missing completions:\n%s", data)
+	}
+}
+
+// runCLI runs cmd/eventmatch on the written Fig. 1 inputs and parses its
+// "A -> 1" mapping lines and the -stats score.
+func runCLI(t *testing.T, dir string) (map[string]string, string) {
+	t.Helper()
+	out, err := exec.Command("go", "run", "eventmatch/cmd/eventmatch",
+		"-algorithm", "heuristic-advanced",
+		"-patterns", filepath.Join(dir, "patterns.txt"),
+		"-stats",
+		filepath.Join(dir, "l1.log"), filepath.Join(dir, "l2.log")).Output()
+	if err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			t.Fatalf("cmd/eventmatch: %v\n%s", err, ee.Stderr)
+		}
+		t.Fatalf("cmd/eventmatch: %v", err)
+	}
+	pairs := make(map[string]string)
+	score := ""
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			for _, field := range strings.Fields(rest) {
+				if v, ok := strings.CutPrefix(field, "score="); ok {
+					score = v
+				}
+			}
+			continue
+		}
+		if a, b, ok := strings.Cut(line, " -> "); ok {
+			pairs[strings.TrimSpace(a)] = strings.TrimSpace(b)
+		}
+	}
+	if len(pairs) == 0 || score == "" {
+		t.Fatalf("could not parse CLI output:\n%s", out)
+	}
+	return pairs, score
+}

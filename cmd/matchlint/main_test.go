@@ -31,6 +31,19 @@ func TestRunCleanPackage(t *testing.T) {
 	}
 }
 
+func TestRunServerPackageClean(t *testing.T) {
+	// The serving layer must stay clean under the extended ctxpass check:
+	// every handler threads r.Context() instead of minting a fresh context.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"eventmatch/internal/server", "eventmatch/internal/server/client"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(internal/server...) = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("server packages produced findings:\n%s", stdout.String())
+	}
+}
+
 func TestRunBadPattern(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"./does/not/exist"}, &stdout, &stderr); code != 2 {

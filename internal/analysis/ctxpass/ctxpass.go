@@ -15,6 +15,12 @@
 //
 // is also exempt — assigning to the context parameter itself repairs the
 // chain rather than breaking it.
+//
+// An *http.Request parameter counts as a context provider too: an HTTP
+// handler that mints context.Background() instead of calling r.Context()
+// detaches the job from the client connection, so abandoned requests keep
+// consuming workers. Every handler in internal/server must thread
+// r.Context() (or a context derived from it).
 package ctxpass
 
 import (
@@ -41,39 +47,66 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			params := ctxParams(pass, fd.Type)
-			if len(params) == 0 {
-				// No context parameter at the top level; closures inside may
+			sc := paramScope(pass, fd.Type)
+			if sc.empty() {
+				// No context provider at the top level; closures inside may
 				// still declare their own, so inspect function literals.
 				inspectLits(pass, fd.Body)
 				continue
 			}
-			checkBody(pass, fd.Body, params)
+			checkBody(pass, fd.Body, sc)
 		}
 	}
 	return nil
 }
 
-// inspectLits descends into function literals of a context-free function,
-// applying the check to any literal that declares its own context parameter.
+// scope tracks the context providers lexically visible inside a function
+// body: plain context.Context parameters and *http.Request parameters
+// (whose Context method carries the per-request cancellation).
+type scope struct {
+	ctx map[types.Object]bool // context.Context parameters
+	req []string              // names of *http.Request parameters, in order
+}
+
+func (s scope) empty() bool { return len(s.ctx) == 0 && len(s.req) == 0 }
+
+// merge returns s extended with the providers of inner (a closure's own
+// parameters shadow nothing here — more providers only strengthen the check).
+func (s scope) merge(inner scope) scope {
+	if inner.empty() {
+		return s
+	}
+	out := scope{ctx: make(map[types.Object]bool, len(s.ctx)+len(inner.ctx))}
+	for o := range s.ctx {
+		out.ctx[o] = true
+	}
+	for o := range inner.ctx {
+		out.ctx[o] = true
+	}
+	out.req = append(append([]string{}, s.req...), inner.req...)
+	return out
+}
+
+// inspectLits descends into function literals of a provider-free function,
+// applying the check to any literal that declares its own context provider.
 func inspectLits(pass *analysis.Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		lit, ok := n.(*ast.FuncLit)
 		if !ok {
 			return true
 		}
-		if params := ctxParams(pass, lit.Type); len(params) > 0 {
-			checkBody(pass, lit.Body, params)
+		if sc := paramScope(pass, lit.Type); !sc.empty() {
+			checkBody(pass, lit.Body, sc)
 			return false // checkBody already covers nested literals
 		}
 		return true
 	})
 }
 
-// checkBody reports fresh-context calls inside body. params holds the
-// context parameters lexically in scope (closures inherit the enclosing
-// function's, and may add their own).
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+// checkBody reports fresh-context calls inside body. sc holds the context
+// providers lexically in scope (closures inherit the enclosing function's,
+// and may add their own).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, sc scope) {
 	// Exempt positions: the RHS of `ctx = context.Background()` where ctx is
 	// a context parameter in scope (the nil-fallback idiom).
 	exempt := map[ast.Expr]bool{}
@@ -83,7 +116,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object
 			return true
 		}
 		for i, rhs := range as.Rhs {
-			if freshContextCall(pass, rhs) != "" && i < len(as.Lhs) && isCtxParam(pass, as.Lhs[i], params) {
+			if freshContextCall(pass, rhs) != "" && i < len(as.Lhs) && isCtxParam(pass, as.Lhs[i], sc.ctx) {
 				exempt[rhs] = true
 			}
 		}
@@ -92,25 +125,20 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			inner := params
-			if extra := ctxParams(pass, n.Type); len(extra) > 0 {
-				inner = make(map[types.Object]bool, len(params)+len(extra))
-				for o := range params {
-					inner[o] = true
-				}
-				for o := range extra {
-					inner[o] = true
-				}
-			}
-			checkBody(pass, n.Body, inner)
+			checkBody(pass, n.Body, sc.merge(paramScope(pass, n.Type)))
 			return false
 		case ast.Expr:
 			if exempt[n] {
 				return false
 			}
 			if name := freshContextCall(pass, n); name != "" {
-				pass.Reportf(n.Pos(),
-					"context.%s() severs the cancellation chain: a context parameter is in scope; pass it through instead", name)
+				if len(sc.ctx) > 0 {
+					pass.Reportf(n.Pos(),
+						"context.%s() severs the cancellation chain: a context parameter is in scope; pass it through instead", name)
+				} else {
+					pass.Reportf(n.Pos(),
+						"context.%s() severs the cancellation chain: derive the context from the request instead (%s.Context())", name, sc.req[0])
+				}
 				return false
 			}
 		}
@@ -139,21 +167,28 @@ func freshContextCall(pass *analysis.Pass, expr ast.Expr) string {
 	return ""
 }
 
-// ctxParams collects the function type's parameters of type context.Context.
-func ctxParams(pass *analysis.Pass, ft *ast.FuncType) map[types.Object]bool {
-	out := map[types.Object]bool{}
+// paramScope collects the function type's context providers: parameters of
+// type context.Context and of type *http.Request.
+func paramScope(pass *analysis.Pass, ft *ast.FuncType) scope {
+	sc := scope{ctx: map[types.Object]bool{}}
 	if ft.Params == nil {
-		return out
+		return sc
 	}
 	for _, field := range ft.Params.List {
 		for _, name := range field.Names {
 			obj := pass.TypesInfo.Defs[name]
-			if obj != nil && isContextType(obj.Type()) {
-				out[obj] = true
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isContextType(obj.Type()):
+				sc.ctx[obj] = true
+			case isRequestPtrType(obj.Type()):
+				sc.req = append(sc.req, obj.Name())
 			}
 		}
 	}
-	return out
+	return sc
 }
 
 // isCtxParam reports whether expr is an identifier bound to one of params.
@@ -173,4 +208,18 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isRequestPtrType reports whether t is *net/http.Request.
+func isRequestPtrType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
 }

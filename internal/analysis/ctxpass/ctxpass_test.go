@@ -10,6 +10,7 @@ import (
 func TestCtxpass(t *testing.T) {
 	analysistest.Run(t, ctxpass.Analyzer, "testdata",
 		"eventmatch/internal/match",
+		"eventmatch/internal/server",
 		"eventmatch/toplevel",
 	)
 }

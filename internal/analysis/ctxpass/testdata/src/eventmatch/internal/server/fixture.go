@@ -1,0 +1,56 @@
+// Fixture for the ctxpass *http.Request extension: HTTP handlers count the
+// request as a context provider, so fresh contexts are flagged with a
+// suggestion to use r.Context().
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	helper(context.Background()) // want `derive the context from the request instead \(r\.Context\(\)\)`
+}
+
+func handlerTODO(w http.ResponseWriter, req *http.Request) {
+	helper(context.TODO()) // want `derive the context from the request instead \(req\.Context\(\)\)`
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	// Threading the request context: accepted.
+	helper(r.Context())
+}
+
+func derivedHandler(w http.ResponseWriter, r *http.Request) {
+	// Deriving from the request context: accepted.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	helper(ctx)
+}
+
+func mixed(ctx context.Context, r *http.Request) {
+	// A plain context parameter takes precedence in the message.
+	helper(context.Background()) // want `a context parameter is in scope; pass it through instead`
+}
+
+func registerRoutes(mux *http.ServeMux) {
+	// Handler closures declare their own request parameter; the check
+	// applies inside even though registerRoutes has no provider.
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		helper(context.Background()) // want `derive the context from the request instead`
+	})
+}
+
+func plainHelper(n int) context.Context {
+	// No provider in scope: the documented uncancellable entry point.
+	return context.Background()
+}
+
+func suppressedHandler(w http.ResponseWriter, r *http.Request) {
+	//matchlint:ignore ctxpass audit write must outlive the request
+	helper(context.Background())
+}
+
+func helper(ctx context.Context) {
+	_ = ctx.Err()
+}

@@ -1,0 +1,59 @@
+package logio
+
+import (
+	"strings"
+	"testing"
+
+	"eventmatch/internal/event"
+)
+
+func TestSniffFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty", "", FormatTraceLines},
+		{"blank", "  \n\t\n", FormatTraceLines},
+		{"trace lines", "A B C\nA C B\n", FormatTraceLines},
+		{"trace lines after comment", "# demo\nA B C\n", FormatTraceLines},
+		{"csv with header", "case,activity\nc1,A\n", FormatCSV},
+		{"csv without header", "c1,A\nc1,B\n", FormatCSV},
+		{"csv after comment", "# export\nc1,A\n", FormatCSV},
+		{"xes declaration", "<?xml version=\"1.0\"?>\n<log/>\n", FormatXES},
+		{"xes bare root", "<log>\n<trace/>\n</log>\n", FormatXES},
+		{"xes leading whitespace", "\n  <log/>", FormatXES},
+		{"bom trace lines", "\xef\xbb\xbfA B\n", FormatTraceLines},
+		{"bom xml", "\xef\xbb\xbf<?xml version=\"1.0\"?><log/>", FormatXES},
+		{"comma beyond first line stays trace lines", "A B\nc1,A\n", FormatTraceLines},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SniffFormat([]byte(tc.data)); got != tc.want {
+				t.Errorf("SniffFormat(%q) = %q, want %q", tc.data, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSniffFormatLargeInputBounded(t *testing.T) {
+	// A giant trace-lines payload must be classified from its prefix alone.
+	data := "A B C\n" + strings.Repeat("D E F\n", 1<<16)
+	if got := SniffFormat([]byte(data)); got != FormatTraceLines {
+		t.Errorf("got %q, want %q", got, FormatTraceLines)
+	}
+}
+
+func TestSniffFormatRoundTrips(t *testing.T) {
+	// Content written by our own writers must sniff back to its format.
+	l := event.FromStrings("A B C", "A C B")
+	for _, format := range []string{FormatTraceLines, FormatCSV, FormatXES} {
+		var b strings.Builder
+		if err := Write(&b, l, format); err != nil {
+			t.Fatalf("write %s: %v", format, err)
+		}
+		if got := SniffFormat([]byte(b.String())); got != format {
+			t.Errorf("round-trip %s sniffed as %s", format, got)
+		}
+	}
+}

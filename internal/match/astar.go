@@ -57,6 +57,17 @@ type Options struct {
 	// at near-zero cost.
 	Telemetry *telemetry.Registry
 
+	// Progress, when non-nil, receives Progress snapshots (effort counters
+	// and elapsed wall clock) while the search runs, at most one per
+	// ProgressEvery. The hook is invoked synchronously from the search
+	// goroutine at its cancellation poll sites, so it must be fast and must
+	// not block; copy the snapshot out and return. Long-running services use
+	// it to surface in-flight job progress without touching the search.
+	Progress func(Progress)
+	// ProgressEvery is the minimum interval between Progress calls; zero or
+	// negative selects DefaultProgressEvery.
+	ProgressEvery time.Duration
+
 	// NaiveOrder expands V1 events in id order instead of the §3.1
 	// most-patterns-first order.
 	NaiveOrder bool

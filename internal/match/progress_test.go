@@ -1,0 +1,93 @@
+package match
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// runWithProgress executes one algorithm with a nanosecond progress cadence
+// (every poll site emits) and returns the captured snapshots.
+func runWithProgress(t *testing.T, algo func(*Problem, context.Context, Options) (Mapping, Stats, error)) []Progress {
+	t.Helper()
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	opts := Options{
+		Bound:         BoundSharp,
+		ProgressEvery: time.Nanosecond,
+		Progress:      func(p Progress) { snaps = append(snaps, p) },
+	}
+	m, _, err := algo(pr, context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injective(t, m)
+	return snaps
+}
+
+func TestProgressHookFiresAcrossAlgorithms(t *testing.T) {
+	algos := map[string]func(*Problem, context.Context, Options) (Mapping, Stats, error){
+		"astar":    (*Problem).AStarContext,
+		"greedy":   (*Problem).GreedyExpandContext,
+		"advanced": (*Problem).HeuristicAdvancedContext,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			snaps := runWithProgress(t, algo)
+			if len(snaps) == 0 {
+				t.Fatalf("%s: no progress snapshots delivered", name)
+			}
+			prev := Progress{}
+			for i, p := range snaps {
+				if p.Expanded < prev.Expanded || p.Generated < prev.Generated || p.Elapsed < prev.Elapsed {
+					t.Fatalf("%s: snapshot %d went backwards: %+v after %+v", name, i, p, prev)
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+func TestProgressHookRateLimited(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	// An interval far beyond the search's runtime: the hook must fire at
+	// most once per interval, i.e. effectively never on this tiny instance.
+	_, _, err = pr.AStarContext(context.Background(), Options{
+		Bound:         BoundSharp,
+		ProgressEvery: time.Hour,
+		Progress:      func(Progress) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("progress fired %d times within one interval, want 0", calls)
+	}
+}
+
+func TestProgressNilHookIsFree(t *testing.T) {
+	// A nil hook must not be called nor break the stopper paths; this guards
+	// the default configuration of every existing caller.
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, st, err := pr.AStarContext(context.Background(), Options{Bound: BoundSharp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Truncated {
+		t.Errorf("unexpected truncation: %+v", st)
+	}
+	injective(t, m)
+}

@@ -28,10 +28,24 @@ const (
 // the polling itself off the profile.
 const checkEvery = 256
 
+// DefaultProgressEvery is the minimum interval between Options.Progress
+// calls when Options.ProgressEvery is zero.
+const DefaultProgressEvery = 100 * time.Millisecond
+
+// Progress is a point-in-time view of a running search's effort, delivered
+// to Options.Progress while the algorithm runs. It carries only cheap
+// counters — no mapping — so emitting one costs nothing but a closure call.
+type Progress struct {
+	Expanded  int           // tree nodes expanded so far
+	Generated int           // candidate mappings processed so far
+	Elapsed   time.Duration // wall-clock time since the search started
+}
+
 // stopper polls a search's cancellation signals — caller context, wall-clock
 // deadline, and the generated-candidates budget — and remembers the first
 // reason it fired, so later phases of a multi-phase algorithm see a stable
-// verdict.
+// verdict. It also drives the Options.Progress hook: snapshots are emitted
+// from the same poll sites, rate-limited to one per ProgressEvery.
 type stopper struct {
 	ctx    context.Context
 	start  time.Time
@@ -39,19 +53,38 @@ type stopper struct {
 	maxGen int
 	n      int    // evaluations since the last time/context poll
 	reason string // first stop reason observed ("" while running)
+
+	progress  func(Progress) // nil: no progress reporting
+	progEvery time.Duration
+	lastProg  time.Time
 }
 
 func newStopper(ctx context.Context, opts Options, start time.Time) *stopper {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &stopper{ctx: ctx, start: start, max: opts.MaxDuration, maxGen: opts.MaxGenerated}
+	s := &stopper{ctx: ctx, start: start, max: opts.MaxDuration, maxGen: opts.MaxGenerated}
+	if opts.Progress != nil {
+		s.progress = opts.Progress
+		s.progEvery = opts.ProgressEvery
+		if s.progEvery <= 0 {
+			s.progEvery = DefaultProgressEvery
+		}
+		s.lastProg = start
+	}
+	return s
 }
 
 // now reports whether the search must stop, polling every signal.
 func (s *stopper) now(st *Stats) (string, bool) {
 	if s.reason != "" {
 		return s.reason, true
+	}
+	if s.progress != nil {
+		if t := time.Now(); t.Sub(s.lastProg) >= s.progEvery {
+			s.lastProg = t
+			s.progress(Progress{Expanded: st.Expanded, Generated: st.Generated, Elapsed: t.Sub(s.start)})
+		}
 	}
 	switch {
 	case s.maxGen > 0 && st.Generated >= s.maxGen:

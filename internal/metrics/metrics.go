@@ -19,6 +19,14 @@ type Quality struct {
 
 // Evaluate compares a found mapping against the ground truth. Both mappings
 // are over the same V1; unmapped entries are ignored on both sides.
+//
+// The mappings may have different lengths (a truncated anytime run can
+// return fewer entries than the truth covers, and a truth file may annotate
+// only a prefix of the vertices). Only the common prefix can contribute to
+// Correct; mapped entries beyond the other side's length still count toward
+// Found (lowering precision — they are claims the truth cannot confirm) or
+// toward Truth (lowering recall — they are pairs the search never produced).
+// A zero-length or fully unmapped side yields zero metrics, never NaN.
 func Evaluate(found, truth match.Mapping) Quality {
 	var q Quality
 	n := len(found)

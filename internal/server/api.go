@@ -1,0 +1,227 @@
+// Package server implements eventmatchd: a long-running HTTP daemon that
+// accepts event-matching jobs, runs them on a bounded worker pool behind an
+// admission-controlled queue, and exposes an asynchronous job lifecycle —
+// submit, poll, fetch result, cancel — over a small JSON API.
+//
+// The daemon is the serving layer over the repository's matching pipeline:
+// jobs reuse the anytime/cancellable searches of internal/match, parsed logs
+// and frequency caches are shared across jobs keyed by content hash (a
+// repeated match over the same log pair skips ingestion and frequency
+// counting entirely), and every pool, queue, cache and job metric lands in
+// one internal/telemetry registry served back on /api/v1/metrics and expvar.
+//
+// # Endpoints
+//
+//	POST   /api/v1/jobs             submit a job (JSON or multipart upload)
+//	GET    /api/v1/jobs             list known jobs
+//	GET    /api/v1/jobs/{id}        job status, with in-flight progress
+//	GET    /api/v1/jobs/{id}/result final mapping, score, quality metrics
+//	POST   /api/v1/jobs/{id}/cancel cancel (DELETE /api/v1/jobs/{id} works too)
+//	GET    /api/v1/metrics          telemetry snapshot as JSON
+//	GET    /healthz                 liveness ("ok", or "draining" + 503)
+//	GET    /debug/vars              expvar, including the registry snapshot
+//
+// # Job lifecycle
+//
+// A job moves through queued → running → done | failed, with canceled
+// reachable from queued (and from running via the anytime contract: a
+// canceled running job still completes into done with a truncated,
+// best-so-far result). See DESIGN.md §9 for the full state machine.
+//
+// # Backpressure
+//
+// Admission is a non-blocking reservation against a fixed-depth queue: when
+// every worker is busy and the queue is full, submission fails fast with
+// HTTP 429 and a Retry-After hint derived from the observed job service
+// time. Nothing ever blocks the accept loop.
+package server
+
+import (
+	"time"
+
+	"eventmatch/internal/match"
+)
+
+// JobState is one node of the job lifecycle state machine.
+type JobState string
+
+// Job lifecycle states. Terminal states are StateDone, StateFailed and
+// StateCanceled.
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is executing the match.
+	StateRunning JobState = "running"
+	// StateDone: finished with a result (possibly truncated / best-so-far).
+	StateDone JobState = "done"
+	// StateFailed: finished with an error instead of a result.
+	StateFailed JobState = "failed"
+	// StateCanceled: canceled while still queued; no result exists. A job
+	// canceled while running lands in StateDone with a truncated result
+	// instead — the anytime searches always return their best mapping.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// LogPayload is one log in a JSON submission.
+type LogPayload struct {
+	// Format is "log", "csv" or "xes"; empty means sniff from the content.
+	Format string `json:"format,omitempty"`
+	// Data is the raw log content.
+	Data string `json:"data"`
+}
+
+// SubmitRequest is the JSON submission body. Multipart submissions carry the
+// same fields as form values, with the two logs as file uploads named "log1"
+// and "log2" (format detected from the file name, then sniffed).
+type SubmitRequest struct {
+	Log1 LogPayload `json:"log1"`
+	Log2 LogPayload `json:"log2"`
+
+	// Patterns are textual complex patterns over Log1's event names.
+	Patterns []string `json:"patterns,omitempty"`
+
+	// Truth, when non-empty, is a ground-truth mapping (Log1 event name →
+	// Log2 event name); the result then carries precision/recall/F-measure
+	// against it.
+	Truth map[string]string `json:"truth,omitempty"`
+
+	// Algorithm names the matching algorithm (eventmatch.ParseAlgorithm);
+	// empty selects heuristic-advanced.
+	Algorithm string `json:"algorithm,omitempty"`
+
+	// TimeoutMS caps the search wall clock. Zero selects the server's
+	// default per-job deadline; values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MaxGenerated and MaxFrontier are the search budgets of
+	// eventmatch.Config, applied as given.
+	MaxGenerated int `json:"max_generated,omitempty"`
+	MaxFrontier  int `json:"max_frontier,omitempty"`
+
+	// Workers parallelizes the search; values above the server's configured
+	// per-job maximum are clamped. Zero selects the server default.
+	Workers int `json:"workers,omitempty"`
+
+	// Lenient makes log ingestion skip malformed rows instead of rejecting
+	// the submission.
+	Lenient bool `json:"lenient,omitempty"`
+}
+
+// ProgressInfo is the in-flight effort view of a running job, fed by the
+// search's progress hook.
+type ProgressInfo struct {
+	Expanded  int   `json:"expanded"`
+	Generated int   `json:"generated"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// JobStatus is the poll view of a job.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Algorithm string   `json:"algorithm"`
+
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+
+	// CancelRequested reports that a cancellation has been delivered but the
+	// job has not yet reached a terminal state (the anytime search is
+	// checkpointing its best-so-far mapping).
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+
+	// Progress is the latest in-flight snapshot while running; nil before
+	// the first snapshot and for the closed-form baselines.
+	Progress *ProgressInfo `json:"progress,omitempty"`
+
+	// Truncated/StopReason surface the anytime verdict once terminal.
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+
+	// Error carries the failure message in StateFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// ReadInfo summarizes one log's (possibly lenient) ingestion.
+type ReadInfo struct {
+	Traces        int `json:"traces"`
+	SkippedRows   int `json:"skipped_rows,omitempty"`
+	SkippedTraces int `json:"skipped_traces,omitempty"`
+	Errors        int `json:"errors,omitempty"`
+}
+
+// QualityInfo is precision/recall/F-measure against a submitted ground truth.
+type QualityInfo struct {
+	Correct   int     `json:"correct"`
+	Found     int     `json:"found"`
+	Truth     int     `json:"truth"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	FMeasure  float64 `json:"f_measure"`
+}
+
+// JobResult is the final output of a done job.
+type JobResult struct {
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+
+	// Pairs is the name-level mapping (Log1 event → Log2 event).
+	Pairs map[string]string `json:"pairs"`
+	// Score is the algorithm's objective value.
+	Score float64 `json:"score"`
+
+	Expanded  int   `json:"expanded"`
+	Generated int   `json:"generated"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+
+	// Truncated marks a best-so-far (anytime) result; StopReason names the
+	// exhausted budget or the cancellation.
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+
+	// Quality is present when the submission carried a ground truth.
+	Quality *QualityInfo `json:"quality,omitempty"`
+
+	// Read1/Read2 report ingestion (present when anything was skipped).
+	Read1 *ReadInfo `json:"read1,omitempty"`
+	Read2 *ReadInfo `json:"read2,omitempty"`
+}
+
+// ListResponse is the GET /api/v1/jobs body.
+type ListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSec accompanies HTTP 429: the suggested backoff, also sent
+	// as a Retry-After header.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+// progressInfo converts a search snapshot to its wire form.
+func progressInfo(p match.Progress) *ProgressInfo {
+	return &ProgressInfo{
+		Expanded:  p.Expanded,
+		Generated: p.Generated,
+		ElapsedMS: p.Elapsed.Milliseconds(),
+	}
+}
+
+// stamp renders a timestamp for the status DTO; zero times render empty.
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

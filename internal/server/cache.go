@@ -1,0 +1,182 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/logio"
+	"eventmatch/internal/match"
+	"eventmatch/internal/telemetry"
+
+	"eventmatch"
+)
+
+// The server caches two layers of job-independent work, both keyed by content
+// hash so identical inputs are recognized regardless of job identity:
+//
+//   - parsed logs: sha256 over (format, lenient, raw bytes) → *event.Log.
+//     Logs are immutable after parsing, so a cached log is shared by
+//     reference across concurrent jobs.
+//
+//   - built problems: (log hashes, mode, normalized pattern list) →
+//     *match.Problem. A Problem carries the pattern set and two
+//     FrequencyCache instances; re-running a job over the same log pair
+//     skips trace scanning entirely (the frequency caches are already warm).
+//     Problems are safe for concurrent searches: per-search state lives on
+//     the search side, and the frequency caches are sharded and race-clean.
+//
+// Both caches dedupe concurrent fills with a sync.Once per entry — two jobs
+// submitting the same log simultaneously parse it once — and evict in FIFO
+// insertion order past their cap (matching problems are cheap to rebuild
+// relative to holding unbounded parsed logs in memory).
+
+// logKey hashes one log payload with its parse-relevant options.
+func logKey(format string, lenient bool, data []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%t|", format, lenient)
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// problemKey identifies a built problem: both log identities, the matching
+// mode and the pattern list (order-normalized — pattern sets are unordered).
+func problemKey(h1, h2 string, mode match.Mode, patterns []string) string {
+	norm := append([]string(nil), patterns...)
+	sort.Strings(norm)
+	return fmt.Sprintf("%s|%s|%d|%s", h1, h2, int(mode), strings.Join(norm, "\x00"))
+}
+
+// logEntry is one fill-once log cache slot.
+type logEntry struct {
+	once sync.Once
+	log  *event.Log
+	rep  logio.ReadReport
+	err  error
+}
+
+// logCache caches parsed logs by content hash.
+type logCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*logEntry
+	order   []string
+
+	hits, misses *telemetry.Counter
+}
+
+func newLogCache(max int, reg *telemetry.Registry) *logCache {
+	c := &logCache{
+		max:     max,
+		entries: make(map[string]*logEntry),
+		hits:    reg.Counter("server.logcache_hits"),
+		misses:  reg.Counter("server.logcache_misses"),
+	}
+	reg.RegisterFunc("server.logcache_entries", func() int64 { return int64(c.len()) })
+	return c
+}
+
+// get parses data (once per distinct key) and returns the shared log.
+func (c *logCache) get(key, format string, data []byte, opts logio.ReadOptions) (*event.Log, logio.ReadReport, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.misses.Inc()
+		e = &logEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		c.evictLocked()
+	} else {
+		c.hits.Inc()
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.log, e.rep, e.err = logio.ReadWithReport(strings.NewReader(string(data)), format, opts)
+	})
+	return e.log, e.rep, e.err
+}
+
+// evictLocked drops the oldest entries beyond the cap. Never evicts the
+// newest entry (the one the caller is about to fill).
+func (c *logCache) evictLocked() {
+	for len(c.order) > c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+func (c *logCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// problemEntry is one fill-once problem cache slot.
+type problemEntry struct {
+	once sync.Once
+	pr   *match.Problem
+	err  error
+}
+
+// problemCache caches built match problems (with their warm frequency
+// caches) by problem key.
+type problemCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*problemEntry
+	order   []string
+
+	hits, misses *telemetry.Counter
+}
+
+func newProblemCache(max int, reg *telemetry.Registry) *problemCache {
+	c := &problemCache{
+		max:     max,
+		entries: make(map[string]*problemEntry),
+		hits:    reg.Counter("server.problemcache_hits"),
+		misses:  reg.Counter("server.problemcache_misses"),
+	}
+	reg.RegisterFunc("server.problemcache_entries", func() int64 { return int64(c.len()) })
+	return c
+}
+
+// get builds the problem (once per distinct key) and returns the shared
+// instance.
+func (c *problemCache) get(key string, l1, l2 *event.Log, patterns []string, mode match.Mode) (*match.Problem, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.misses.Inc()
+		e = &problemEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	} else {
+		c.hits.Inc()
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		var bound []*eventmatch.Pattern
+		if mode == match.ModePattern {
+			bound, e.err = eventmatch.BindPatterns(patterns, l1.Alphabet)
+			if e.err != nil {
+				return
+			}
+		}
+		e.pr, e.err = match.BuildProblem(l1, l2, bound, mode)
+	})
+	return e.pr, e.err
+}
+
+func (c *problemCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,254 @@
+// Package client is a small typed client for the eventmatchd HTTP API. It
+// exists so tests, the CI end-to-end gate, and scripts talk to the daemon
+// through one vetted path instead of hand-rolled HTTP.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"eventmatch/internal/server"
+	"eventmatch/internal/telemetry"
+)
+
+// Client talks to one eventmatchd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// StatusError is any non-2xx API response that is not a saturation reject.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// SaturatedError is a 429 reject: the daemon's job queue is full.
+type SaturatedError struct {
+	// RetryAfter is the server's suggested backoff.
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("server: job queue full (retry after %v)", e.RetryAfter)
+}
+
+// Submit submits a JSON job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.JobStatus{}, fmt.Errorf("client: %w", err)
+	}
+	var st server.JobStatus
+	err = c.do(ctx, http.MethodPost, "/api/v1/jobs", "application/json", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// Upload is one file part of a multipart submission.
+type Upload struct {
+	Name string // file name; its extension selects the format when known
+	Data []byte
+}
+
+// SubmitUpload submits a job as a multipart upload: two raw log files,
+// optional patterns and truth files (loggen's on-disk formats), and the
+// remaining options from req (its Log1/Log2/Patterns/Truth fields are
+// ignored in favor of the uploads).
+func (c *Client) SubmitUpload(ctx context.Context, log1, log2 Upload, patterns, truth []byte, req server.SubmitRequest) (server.JobStatus, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, part := range []struct {
+		field string
+		up    Upload
+	}{
+		{"log1", log1},
+		{"log2", log2},
+		{"patterns", Upload{Name: "patterns.txt", Data: patterns}},
+		{"truth", Upload{Name: "truth.txt", Data: truth}},
+	} {
+		if part.up.Data == nil {
+			continue
+		}
+		fw, err := mw.CreateFormFile(part.field, part.up.Name)
+		if err != nil {
+			return server.JobStatus{}, fmt.Errorf("client: %w", err)
+		}
+		if _, err := fw.Write(part.up.Data); err != nil {
+			return server.JobStatus{}, fmt.Errorf("client: %w", err)
+		}
+	}
+	fields := map[string]string{
+		"algorithm": req.Algorithm,
+	}
+	if req.TimeoutMS > 0 {
+		fields["timeout_ms"] = strconv.FormatInt(req.TimeoutMS, 10)
+	}
+	if req.MaxGenerated > 0 {
+		fields["max_generated"] = strconv.Itoa(req.MaxGenerated)
+	}
+	if req.MaxFrontier > 0 {
+		fields["max_frontier"] = strconv.Itoa(req.MaxFrontier)
+	}
+	if req.Workers > 0 {
+		fields["workers"] = strconv.Itoa(req.Workers)
+	}
+	if req.Lenient {
+		fields["lenient"] = "true"
+	}
+	for k, v := range fields {
+		if v == "" {
+			continue
+		}
+		if err := mw.WriteField(k, v); err != nil {
+			return server.JobStatus{}, fmt.Errorf("client: %w", err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return server.JobStatus{}, fmt.Errorf("client: %w", err)
+	}
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", mw.FormDataContentType(), &buf, &st)
+	return st, err
+}
+
+// Status polls one job.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, "", nil, &st)
+	return st, err
+}
+
+// List returns every job the daemon still remembers.
+func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
+	var resp server.ListResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", "", nil, &resp)
+	return resp.Jobs, err
+}
+
+// Result fetches a done job's result. A non-terminal job returns a
+// *StatusError with Code 409.
+func (c *Client) Result(ctx context.Context, id string) (server.JobResult, error) {
+	var res server.JobResult
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", "", nil, &res)
+	return res, err
+}
+
+// Cancel requests cancellation and returns the job's status after delivery.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+id+"/cancel", "", nil, &st)
+	return st, err
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx expires).
+func (c *Client) Wait(ctx context.Context, id string, every time.Duration) (server.JobStatus, error) {
+	if every <= 0 {
+		every = 50 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Metrics fetches the daemon's telemetry snapshot.
+func (c *Client) Metrics(ctx context.Context) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	err := c.do(ctx, http.MethodGet, "/api/v1/metrics", "", nil, &snap)
+	return snap, err
+}
+
+// Health reports liveness: nil when serving, an error when draining or
+// unreachable.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	}
+	return nil
+}
+
+// do runs one request and decodes the JSON response into out, mapping
+// non-2xx responses to typed errors.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		var e server.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		retry := time.Duration(e.RetryAfterSec) * time.Second
+		if retry <= 0 {
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				retry = time.Duration(sec) * time.Second
+			}
+		}
+		return &SaturatedError{RetryAfter: retry}
+	}
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(data))
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}

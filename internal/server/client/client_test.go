@@ -1,0 +1,193 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eventmatch/internal/gen"
+	"eventmatch/internal/logio"
+	"eventmatch/internal/server"
+
+	"eventmatch"
+)
+
+func testDaemon(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, New(ts.URL, nil)
+}
+
+func fig1Files(t *testing.T) (log1, log2, patterns, truth []byte) {
+	t.Helper()
+	g := gen.Fig1()
+	render := func(l *eventmatch.Log) []byte {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	var tb strings.Builder
+	for v1, v2 := range g.Truth {
+		if v2 >= 0 {
+			tb.WriteString(g.L1.Alphabet.Name(eventmatch.EventID(v1)))
+			tb.WriteString(" -> ")
+			tb.WriteString(g.L2.Alphabet.Name(v2))
+			tb.WriteString("\n")
+		}
+	}
+	return render(g.L1), render(g.L2),
+		[]byte(strings.Join(g.Patterns, "\n") + "\n"), []byte(tb.String())
+}
+
+// TestClientLifecycle runs the full typed-client cycle: upload submission,
+// Wait, Result with quality, Health, Metrics, List.
+func TestClientLifecycle(t *testing.T) {
+	_, c := testDaemon(t, server.Config{Workers: 2, QueueDepth: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	log1, log2, patterns, truth := fig1Files(t)
+	st, err := c.SubmitUpload(ctx,
+		Upload{Name: "l1.log", Data: log1},
+		Upload{Name: "l2.log", Data: log2},
+		patterns, truth,
+		server.SubmitRequest{Algorithm: "heuristic-advanced", TimeoutMS: 10_000})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	final, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("job finished %s (err %q)", final.State, final.Error)
+	}
+
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if len(res.Pairs) == 0 || res.Quality == nil || res.Quality.FMeasure <= 0 {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+
+	jobs, err := c.List(ctx)
+	if err != nil || len(jobs) == 0 {
+		t.Fatalf("list: %v (%d jobs)", err, len(jobs))
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if snap.Counter("server.jobs_completed") == 0 {
+		t.Errorf("metrics missing completions: %+v", snap.Counters)
+	}
+}
+
+// TestClientErrors maps the API's failure modes onto the typed errors.
+func TestClientErrors(t *testing.T) {
+	_, c := testDaemon(t, server.Config{Workers: 1, QueueDepth: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Validation failure → *StatusError with 400.
+	_, err := c.Submit(ctx, server.SubmitRequest{
+		Log1:      server.LogPayload{Data: "A B\n"},
+		Log2:      server.LogPayload{Data: "X Y\n"},
+		Algorithm: "quantum",
+	})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 400 {
+		t.Fatalf("bad algorithm error = %v, want StatusError 400", err)
+	}
+
+	// Unknown job → 404 on every job endpoint.
+	if _, err := c.Status(ctx, "nope"); !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("unknown status error = %v", err)
+	}
+	if _, err := c.Result(ctx, "nope"); !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("unknown result error = %v", err)
+	}
+	if _, err := c.Cancel(ctx, "nope"); !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("unknown cancel error = %v", err)
+	}
+}
+
+// TestClientSaturationAndCancel fills the queue and checks the
+// SaturatedError surface, then cancels the running job through the client.
+func TestClientSaturationAndCancel(t *testing.T) {
+	// One worker, one slot: a slow exact job plus one queued job saturate it.
+	_, c := testDaemon(t, server.Config{Workers: 1, QueueDepth: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	g := gen.RandomPair(11, 14, 60, 12)
+	render := func(l *eventmatch.Log) string {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	slow := server.SubmitRequest{
+		Log1:      server.LogPayload{Data: render(g.L1)},
+		Log2:      server.LogPayload{Data: render(g.L2)},
+		Patterns:  g.Patterns,
+		Algorithm: "exact",
+		TimeoutMS: 30_000,
+	}
+
+	first, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	second, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	// Third submission must see a full queue while the first two are alive.
+	var sat *SaturatedError
+	if _, err := c.Submit(ctx, slow); !errors.As(err, &sat) {
+		t.Fatalf("submit 3 error = %v, want SaturatedError", err)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("SaturatedError.RetryAfter = %v, want > 0", sat.RetryAfter)
+	}
+
+	for _, id := range []string{first.ID, second.ID} {
+		if _, err := c.Cancel(ctx, id); err != nil {
+			t.Fatalf("cancel %s: %v", id, err)
+		}
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		final, err := c.Wait(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("wait %s: %v", id, err)
+		}
+		switch final.State {
+		case server.StateDone, server.StateCanceled:
+		default:
+			t.Errorf("job %s finished %s", id, final.State)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP handler. Routes use the Go 1.22 method
+// and wildcard patterns of net/http.ServeMux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// handleSubmit admits a job: parse and fully validate the submission (bad
+// input never reaches a worker), then reserve a queue slot or fail fast.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	spec, err := s.parseSubmit(r)
+	if err != nil {
+		code := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	j, err := s.submit(spec)
+	switch {
+	case errors.Is(err, errSaturated):
+		retry := s.retryAfter()
+		sec := int(retry.Seconds() + 0.5)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:         "job queue full",
+			RetryAfterSec: sec,
+		})
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.all()
+	resp := ListResponse{Jobs: make([]JobStatus, 0, len(jobs))}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, j.status())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleResult serves the terminal outcome. Non-terminal jobs answer 409 so
+// a poller can distinguish "not yet" from "gone wrong".
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	state, res, errMsg := j.snapshot()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, res)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job canceled before it started; no result")
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll until terminal", state))
+	}
+}
+
+// handleCancel delivers a cancellation. Cancelling an already-terminal job
+// is a no-op that still reports the job's status — cancellation is
+// idempotent from the client's side.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if j.requestCancel() {
+		s.canceled.Inc()
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.WriteJSON(w); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/logio"
+	"eventmatch/internal/match"
+
+	"eventmatch"
+)
+
+// jobSpec is the fully validated, immutable description of one admitted job.
+// All request parsing and validation happens at submit time, so a worker can
+// run a spec without producing a user-error.
+type jobSpec struct {
+	algorithm eventmatch.Algorithm
+	algoName  string
+
+	l1, l2 *event.Log
+	h1, h2 string // content hashes, for problem-cache keys
+
+	rep1, rep2 logio.ReadReport
+
+	patterns []string
+	truth    match.Mapping // nil when no ground truth was submitted
+
+	timeout      time.Duration
+	maxGenerated int
+	maxFrontier  int
+	workers      int
+}
+
+// job is one unit of work moving through the lifecycle state machine.
+// The zero-valued fields are filled in as the job advances; mu guards
+// everything below it.
+type job struct {
+	id      string
+	spec    jobSpec
+	created time.Time
+
+	// ctx is canceled by Cancel (client) or by server shutdown force-cancel;
+	// the anytime searches then checkpoint their best-so-far mapping.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu              sync.Mutex
+	state           JobState
+	cancelRequested bool
+	started         time.Time
+	finished        time.Time
+	progress        *match.Progress
+	result          *JobResult
+	errMsg          string
+}
+
+// setProgress is the search's progress hook target. It runs synchronously on
+// the search goroutine, so it only copies the snapshot under the lock.
+func (j *job) setProgress(p match.Progress) {
+	j.mu.Lock()
+	cp := p
+	j.progress = &cp
+	j.mu.Unlock()
+}
+
+// start transitions queued → running. It returns false when the job was
+// canceled while still queued (the worker then skips it: its terminal state
+// was already set by requestCancel).
+func (j *job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish transitions running → done | failed.
+func (j *job) finish(res *JobResult, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		return
+	}
+	j.state = StateDone
+	j.result = res
+}
+
+// requestCancel delivers a cancellation. A queued job goes terminal
+// immediately; a running job keeps running until the search checkpoints
+// (its result will carry StopReason "canceled"). Idempotent. Returns false
+// only for jobs already terminal.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.cancelRequested = true
+		j.finished = time.Now()
+		j.cancel()
+		return true
+	case StateRunning:
+		j.cancelRequested = true
+		j.cancel()
+		return true
+	default:
+		return false
+	}
+}
+
+// status snapshots the job for the poll endpoint.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Algorithm: j.spec.algoName,
+		Created:   stamp(j.created),
+		Started:   stamp(j.started),
+		Finished:  stamp(j.finished),
+		Error:     j.errMsg,
+	}
+	if j.cancelRequested && !j.state.Terminal() {
+		s.CancelRequested = true
+	}
+	if j.state == StateRunning && j.progress != nil {
+		s.Progress = progressInfo(*j.progress)
+	}
+	if j.result != nil {
+		s.Truncated = j.result.Truncated
+		s.StopReason = j.result.StopReason
+	}
+	return s
+}
+
+// snapshot returns the terminal state and result for the result endpoint.
+func (j *job) snapshot() (JobState, *JobResult, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.errMsg
+}
+
+// jobStore holds every known job in insertion order, evicting the oldest
+// terminal jobs once the store exceeds its cap. Running and queued jobs are
+// never evicted.
+type jobStore struct {
+	mu    sync.Mutex
+	max   int
+	next  int
+	byID  map[string]*job
+	order []*job
+}
+
+func newJobStore(max int) *jobStore {
+	return &jobStore{max: max, byID: make(map[string]*job)}
+}
+
+// add registers a new job under a fresh id and evicts old terminal jobs
+// beyond the cap.
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j.id = fmt.Sprintf("j%d", s.next)
+	s.byID[j.id] = j
+	s.order = append(s.order, j)
+	if over := len(s.order) - s.max; over > 0 {
+		kept := s.order[:0]
+		for _, old := range s.order {
+			if over > 0 && old != j {
+				old.mu.Lock()
+				terminal := old.state.Terminal()
+				old.mu.Unlock()
+				if terminal {
+					delete(s.byID, old.id)
+					over--
+					continue
+				}
+			}
+			kept = append(kept, old)
+		}
+		s.order = kept
+	}
+}
+
+// get looks a job up by id.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// all returns the stored jobs in insertion order.
+func (s *jobStore) all() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*job(nil), s.order...)
+}
+
+// len reports the stored job count (a telemetry func gauge reads it).
+func (s *jobStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errSaturated reports that the admission queue is full — the HTTP layer
+// turns it into 429 + Retry-After.
+var errSaturated = errors.New("server: job queue full")
+
+// errDraining reports that the server has stopped admitting jobs — the HTTP
+// layer turns it into 503.
+var errDraining = errors.New("server: draining")
+
+// pool is the bounded worker pool behind the admission queue. Submission is
+// strictly non-blocking: either the job lands in the buffered queue
+// immediately or the caller gets errSaturated. The accept loop never waits
+// on the matching engine.
+type pool struct {
+	queue   chan *job
+	wg      sync.WaitGroup
+	running atomic.Int64 // jobs currently executing (telemetry gauge)
+
+	mu       sync.Mutex
+	draining bool
+
+	run func(*job) // the job executor (Server.runJob)
+}
+
+// newPool starts workers goroutines consuming a queue of the given depth.
+func newPool(workers, depth int, run func(*job)) *pool {
+	p := &pool{
+		queue: make(chan *job, depth),
+		run:   run,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if !j.start() { // canceled while queued
+			continue
+		}
+		p.running.Add(1)
+		p.run(j)
+		p.running.Add(-1)
+	}
+}
+
+// submit admits a job or fails fast. The mutex only serializes the
+// draining-check against drain's close(p.queue) — the select itself never
+// blocks.
+func (p *pool) submit(j *job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return errDraining
+	}
+	select {
+	case p.queue <- j:
+		return nil
+	default:
+		return errSaturated
+	}
+}
+
+// queued reports the current queue occupancy.
+func (p *pool) queued() int { return len(p.queue) }
+
+// drain stops admission, lets the workers finish the queue, and returns once
+// every worker has exited. Safe to call once; submit returns errDraining
+// afterwards.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"eventmatch/internal/telemetry"
+)
+
+// Config parameterizes the daemon. The zero value is usable: every field has
+// a sensible default applied by withDefaults.
+type Config struct {
+	// Workers is the worker pool size — how many jobs execute concurrently.
+	// Default 2.
+	Workers int
+
+	// QueueDepth bounds the admission queue; a submission arriving when all
+	// workers are busy and the queue holds QueueDepth jobs is rejected with
+	// 429. Default 8.
+	QueueDepth int
+
+	// DefaultDeadline is the per-job search wall-clock cap applied when a
+	// submission does not choose one. Default 30s.
+	DefaultDeadline time.Duration
+
+	// MaxDeadline clamps client-requested deadlines. Default 5m.
+	MaxDeadline time.Duration
+
+	// SearchWorkers is the default intra-job search parallelism, and also
+	// the clamp for client-requested values. Default 1 (jobs are the
+	// concurrency unit; raise it on large machines).
+	SearchWorkers int
+
+	// MaxUploadBytes caps the request body (JSON or multipart). Each log is
+	// additionally capped at this size by the ingestion guards. Default 32 MiB.
+	MaxUploadBytes int64
+
+	// MaxStoredJobs caps the job store; the oldest finished jobs are evicted
+	// past it. Default 1024.
+	MaxStoredJobs int
+
+	// MaxCachedLogs / MaxCachedProblems cap the content-hash caches.
+	// Defaults 64 and 64.
+	MaxCachedLogs     int
+	MaxCachedProblems int
+
+	// ProgressEvery is the in-flight progress snapshot interval. Zero
+	// selects the search default (match.DefaultProgressEvery).
+	ProgressEvery time.Duration
+
+	// Telemetry receives all server and search metrics. Nil creates a fresh
+	// registry (the daemon always runs instrumented: gauges feed the metrics
+	// endpoint and the Retry-After estimate).
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = 1
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	if c.MaxStoredJobs <= 0 {
+		c.MaxStoredJobs = 1024
+	}
+	if c.MaxCachedLogs <= 0 {
+		c.MaxCachedLogs = 64
+	}
+	if c.MaxCachedProblems <= 0 {
+		c.MaxCachedProblems = 64
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the matching daemon: an admission-controlled job queue over the
+// anytime matching pipeline. Create with New, mount Handler on an
+// http.Server, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	reg  *telemetry.Registry
+	jobs *jobStore
+	pool *pool
+	logs *logCache
+	prs  *problemCache
+
+	// baseCtx parents every job context; baseCancel is the shutdown
+	// force-cancel that makes in-flight searches checkpoint.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+
+	// ewmaJobNs is an exponentially weighted moving average of job service
+	// time, feeding the Retry-After estimate on 429.
+	ewmaJobNs atomic.Int64
+
+	submitted, completed, failed, canceled, rejected *telemetry.Counter
+	waitTimer, runTimer                              *telemetry.Timer
+
+	// testHookBeforeRun, when non-nil, runs on the worker goroutine after a
+	// job transitions to running and before the engine executes it. Tests
+	// use it to hold a worker deterministically (e.g. to fill the queue for
+	// backpressure assertions). Never set in production.
+	testHookBeforeRun func(*job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		reg:  cfg.Telemetry,
+		jobs: newJobStore(cfg.MaxStoredJobs),
+		logs: newLogCache(cfg.MaxCachedLogs, cfg.Telemetry),
+		prs:  newProblemCache(cfg.MaxCachedProblems, cfg.Telemetry),
+
+		submitted: cfg.Telemetry.Counter("server.jobs_submitted"),
+		completed: cfg.Telemetry.Counter("server.jobs_completed"),
+		failed:    cfg.Telemetry.Counter("server.jobs_failed"),
+		canceled:  cfg.Telemetry.Counter("server.jobs_canceled"),
+		rejected:  cfg.Telemetry.Counter("server.jobs_rejected"),
+		waitTimer: cfg.Telemetry.Timer("server.job_wait"),
+		runTimer:  cfg.Telemetry.Timer("server.job_run"),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.reg.RegisterFunc("server.queue_depth", func() int64 { return int64(s.pool.queued()) })
+	s.reg.RegisterFunc("server.queue_capacity", func() int64 { return int64(cfg.QueueDepth) })
+	s.reg.RegisterFunc("server.workers", func() int64 { return int64(cfg.Workers) })
+	s.reg.RegisterFunc("server.jobs_running", func() int64 { return s.pool.running.Load() })
+	s.reg.RegisterFunc("server.jobs_stored", func() int64 { return int64(s.jobs.len()) })
+	return s
+}
+
+// Telemetry exposes the server's metric registry (for expvar publication and
+// tests).
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// submit admits a validated spec as a new job.
+func (s *Server) submit(spec jobSpec) (*job, error) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		spec:    spec,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+	}
+	s.jobs.add(j)
+	if err := s.pool.submit(j); err != nil {
+		s.rejected.Inc()
+		cancel()
+		// The job never ran; mark it terminal so the store can evict it.
+		j.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		return nil, err
+	}
+	s.submitted.Inc()
+	return j, nil
+}
+
+// retryAfter estimates how long a rejected client should back off: the
+// observed average job service time, floored at 1s. With no completed jobs
+// yet, half the default deadline is the best guess.
+func (s *Server) retryAfter() time.Duration {
+	ns := s.ewmaJobNs.Load()
+	if ns == 0 {
+		return s.cfg.DefaultDeadline / 2
+	}
+	d := time.Duration(ns)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// noteJobDuration folds one job's service time into the Retry-After EWMA
+// (weight 1/4 on the new sample).
+func (s *Server) noteJobDuration(d time.Duration) {
+	for {
+		old := s.ewmaJobNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/4
+		}
+		if s.ewmaJobNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Shutdown drains the daemon: admission stops immediately (submissions get
+// 503), queued and running jobs are given until ctx expires to finish, then
+// every in-flight search is force-canceled — the anytime contract turns that
+// into truncated best-so-far results, not lost jobs. Returns once all
+// workers have exited. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pool.drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline passed: force-cancel everything still running. Workers
+		// then finish promptly (anytime checkpoint) and drain completes.
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel() // release the base context in the clean-drain path too
+	return nil
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolStress hammers one small server with concurrent submitters and
+// cancellers through the real HTTP surface. Run under -race (CI promotes it
+// into the race job with -count) it is the job queue's race-cleanliness
+// proof; in any mode it asserts the accounting invariant that every admitted
+// job reaches exactly one terminal state.
+func TestPoolStress(t *testing.T) {
+	s := New(Config{
+		Workers:         3,
+		QueueDepth:      4,
+		DefaultDeadline: 5 * time.Second,
+		MaxStoredJobs:   4096, // keep every job observable for the final audit
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A tiny instance keeps each job cheap; the contention is the point.
+	req := SubmitRequest{
+		Log1:      LogPayload{Data: "A B C\nA C B\n"},
+		Log2:      LogPayload{Data: "X Y Z\nX Z Y\n"},
+		Patterns:  []string{"SEQ(A,B)"},
+		Algorithm: "heuristic-advanced",
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		submitters    = 4
+		perSubmitter  = 12
+		cancelWorkers = 2
+	)
+	var (
+		mu       sync.Mutex
+		admitted []string
+	)
+	ids := make(chan string, submitters*perSubmitter)
+
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var st JobStatus
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						t.Error(err)
+					}
+					mu.Lock()
+					admitted = append(admitted, st.ID)
+					mu.Unlock()
+					ids <- st.ID
+				case http.StatusTooManyRequests:
+					// Expected under load; back off briefly.
+					time.Sleep(2 * time.Millisecond)
+				default:
+					t.Errorf("submit: HTTP %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	var cwg sync.WaitGroup
+	for g := 0; g < cancelWorkers; g++ {
+		cwg.Add(1)
+		go func(seed int64) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for id := range ids {
+				if rng.Intn(2) == 0 {
+					resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					resp.Body.Close()
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(ids)
+	cwg.Wait()
+
+	// Every admitted job must reach exactly one terminal state, promptly.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range admitted {
+		for {
+			j, ok := s.jobs.get(id)
+			if !ok {
+				t.Fatalf("admitted job %s vanished (store cap too small?)", id)
+			}
+			if st := j.status(); st.State.Terminal() {
+				if st.State == StateFailed {
+					t.Errorf("job %s failed: %s", id, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck non-terminal", id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	snap := s.Telemetry().Snapshot()
+	sub := snap.Counter("server.jobs_submitted")
+	done := snap.Counter("server.jobs_completed") + snap.Counter("server.jobs_failed")
+	// Canceled-while-queued jobs never run; everything else lands in
+	// completed or failed. The two must bracket the admitted count.
+	if sub != int64(len(admitted)) {
+		t.Errorf("jobs_submitted = %d, admitted %d", sub, len(admitted))
+	}
+	if done > sub {
+		t.Errorf("completed+failed = %d exceeds submitted %d", done, sub)
+	}
+
+	// Drain under load aftermath must terminate cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

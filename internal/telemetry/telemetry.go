@@ -188,6 +188,16 @@ func (s *Snapshot) Gauge(name string) int64 {
 	return s.Gauges[name]
 }
 
+// Timer returns the named timer's span count and total duration (zero when
+// absent or on a nil snapshot).
+func (s *Snapshot) Timer(name string) (count int64, total time.Duration) {
+	if s == nil {
+		return 0, 0
+	}
+	tv := s.Timers[name]
+	return tv.Count, time.Duration(tv.TotalNs)
+}
+
 // Registry is a named collection of metrics. The zero value is ready to use;
 // a nil *Registry hands out nil metrics whose methods are all no-ops, so
 // instrumented code never needs an enabled-check.

@@ -114,6 +114,16 @@ func TestSnapshotGoldenJSON(t *testing.T) {
 	if snap.Timers["astar.time"] != (TimerValue{Count: 1, TotalNs: 1500000}) {
 		t.Fatalf("round-trip lost timer: %+v", snap.Timers)
 	}
+	if n, total := snap.Timer("astar.time"); n != 1 || total != 1500*time.Microsecond {
+		t.Fatalf("Timer accessor = (%d, %v), want (1, 1.5ms)", n, total)
+	}
+	if n, total := snap.Timer("absent"); n != 0 || total != 0 {
+		t.Fatalf("absent timer = (%d, %v), want zeros", n, total)
+	}
+	var nilSnap *Snapshot
+	if n, total := nilSnap.Timer("astar.time"); n != 0 || total != 0 {
+		t.Fatalf("nil-snapshot timer = (%d, %v), want zeros", n, total)
+	}
 }
 
 func TestSummaryLine(t *testing.T) {
