@@ -22,6 +22,13 @@
 //	-drain-timeout   how long a shutdown waits for in-flight jobs before
 //	                 force-canceling them into anytime results (default 15s)
 //	-metrics-json FILE  write the final telemetry snapshot here on exit
+//	-data-dir DIR    durable state directory (fsync'd job journal +
+//	                 content-addressed artifacts). On boot the journal is
+//	                 replayed: finished results are served from disk and
+//	                 interrupted jobs re-run, re-seeded from their last
+//	                 persisted checkpoint. Empty = in-memory only.
+//	-checkpoint-every  how often running searches persist a best-so-far
+//	                 checkpoint (default 2s; only meaningful with -data-dir)
 //
 // The daemon drains gracefully on SIGINT or SIGTERM: admission stops
 // (submissions answer 503, /healthz reports draining), queued and running
@@ -48,6 +55,7 @@ import (
 	"time"
 
 	"eventmatch/internal/server"
+	"eventmatch/internal/server/store"
 	"eventmatch/internal/telemetry"
 )
 
@@ -58,15 +66,17 @@ const (
 )
 
 type daemonOptions struct {
-	addr           string
-	workers        int
-	queueDepth     int
-	searchWorkers  int
-	deadline       time.Duration
-	maxDeadline    time.Duration
-	maxUploadBytes int64
-	drainTimeout   time.Duration
-	metricsJSON    string
+	addr            string
+	workers         int
+	queueDepth      int
+	searchWorkers   int
+	deadline        time.Duration
+	maxDeadline     time.Duration
+	maxUploadBytes  int64
+	drainTimeout    time.Duration
+	metricsJSON     string
+	dataDir         string
+	checkpointEvery time.Duration
 }
 
 func main() {
@@ -92,6 +102,8 @@ func parseFlags(fs *flag.FlagSet, args []string) daemonOptions {
 	fs.Int64Var(&o.maxUploadBytes, "max-upload-bytes", 32<<20, "request body size cap")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "shutdown grace for in-flight jobs")
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the final telemetry snapshot to this file on exit")
+	fs.StringVar(&o.dataDir, "data-dir", "", "durable state directory (journal + artifacts); empty = in-memory only")
+	fs.DurationVar(&o.checkpointEvery, "checkpoint-every", 0, "durable search-checkpoint cadence (0 = default 2s; needs -data-dir)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: eventmatchd [flags]\n")
 		fs.PrintDefaults()
@@ -112,6 +124,23 @@ func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(ad
 	if err := reg.PublishExpvar("eventmatchd"); err != nil {
 		return exitError, err
 	}
+
+	// Durable mode: open the journal + artifact store, replay it, and hand
+	// the recovered jobs to the server below. Without -data-dir the daemon
+	// runs fully in-memory, as before.
+	var (
+		st       *store.Store
+		recovery *store.Recovery
+	)
+	if o.dataDir != "" {
+		var err error
+		st, recovery, err = store.Open(ctx, o.dataDir, store.Options{Telemetry: reg})
+		if err != nil {
+			return exitError, err
+		}
+		defer st.Close()
+	}
+
 	srv := server.New(server.Config{
 		Workers:         o.workers,
 		QueueDepth:      o.queueDepth,
@@ -119,8 +148,15 @@ func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(ad
 		DefaultDeadline: o.deadline,
 		MaxDeadline:     o.maxDeadline,
 		MaxUploadBytes:  o.maxUploadBytes,
+		Store:           st,
+		CheckpointEvery: o.checkpointEvery,
 		Telemetry:       reg,
 	})
+	if st != nil {
+		sum := srv.Recover(recovery)
+		fmt.Fprintf(stdout, "eventmatchd: recovered %d jobs from %s (%d results on disk, %d requeued, %d unrecoverable; %d torn records dropped)\n",
+			sum.Jobs, o.dataDir, sum.Results, sum.Requeued, sum.Failed, recovery.Torn)
+	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

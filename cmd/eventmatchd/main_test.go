@@ -21,6 +21,7 @@ import (
 	"eventmatch/internal/logio"
 	"eventmatch/internal/server"
 	"eventmatch/internal/server/client"
+	"eventmatch/internal/server/store"
 	"eventmatch/internal/telemetry"
 
 	"eventmatch"
@@ -405,6 +406,221 @@ func TestE2EServe(t *testing.T) {
 	if flushed.Counter("server.jobs_completed") == 0 {
 		t.Errorf("flushed metrics missing completions:\n%s", data)
 	}
+}
+
+// TestE2ECrashRecovery is the CI crash-recovery gate (set EVENTMATCHD_E2E=1):
+// a durable daemon (-data-dir) completes one job and is running a second when
+// it gets kill -9 mid-search. A fresh daemon on the same directory must serve
+// the completed result from disk with identical pairs and score, re-run the
+// interrupted job seeded from its last persisted checkpoint (final score never
+// below the checkpointed score), and leave every journaled job terminal. A
+// final offline replay of the journal double-checks that.
+func TestE2ECrashRecovery(t *testing.T) {
+	if os.Getenv("EVENTMATCHD_E2E") != "1" {
+		t.Skip("set EVENTMATCHD_E2E=1 to run the crash-recovery gate")
+	}
+	dataDir := t.TempDir()
+	log1, log2, patterns, truth := fig1Inputs(t)
+	durableArgs := []string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-data-dir", dataDir,
+		"-checkpoint-every", "25ms",
+	}
+	cmd, addr, stderr := startDaemon(t, durableArgs...)
+	killed := false
+	defer func() {
+		if !killed && cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	c := client.New("http://"+addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// 1. One job completes before the crash; its result must survive it.
+	st1, err := c.SubmitUpload(ctx,
+		client.Upload{Name: "l1.log", Data: log1},
+		client.Upload{Name: "l2.log", Data: log2},
+		patterns, truth,
+		server.SubmitRequest{Algorithm: "heuristic-advanced", TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if final, err := c.Wait(ctx, st1.ID, 10*time.Millisecond); err != nil || final.State != server.StateDone {
+		t.Fatalf("wait: %v (state %s)", err, final.State)
+	}
+	res1, err := c.Result(ctx, st1.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+
+	// 2. A slow exact job; wait until a best-so-far checkpoint with a real
+	// mapping hits the journal, so the crash lands mid-search with durable
+	// progress behind it.
+	g := gen.RandomPair(3, 14, 60, 12)
+	render := func(l *eventmatch.Log) []byte {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	st2, err := c.SubmitUpload(ctx,
+		client.Upload{Name: "s1.log", Data: render(g.L1)},
+		client.Upload{Name: "s2.log", Data: render(g.L2)},
+		[]byte(strings.Join(g.Patterns, "\n")), nil,
+		server.SubmitRequest{Algorithm: "exact", TimeoutMS: 120_000})
+	if err != nil {
+		t.Fatalf("slow submit: %v", err)
+	}
+	ckScore := 0.0
+	ckDeadline := time.Now().Add(60 * time.Second)
+	for {
+		if s, ok := bestJournalCheckpoint(t, dataDir, st2.ID); ok {
+			ckScore = s
+			break
+		}
+		if time.Now().After(ckDeadline) {
+			t.Fatalf("no checkpoint for %s reached the journal; stderr:\n%s", st2.ID, stderr.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// 3. Crash hard: no drain, no final journal records.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	// 4. Restart on the same directory. The connection-refused window while
+	// the daemon reboots is exactly what the client retry layer is for.
+	cmd2, addr2, stderr2 := startDaemon(t, durableArgs...)
+	defer func() {
+		if cmd2.ProcessState == nil {
+			cmd2.Process.Kill()
+			cmd2.Wait()
+		}
+	}()
+	c2 := client.New("http://"+addr2, nil).WithRetry(client.DefaultRetryPolicy())
+
+	// 5. The completed job's result is served from disk: exact parity.
+	res1b, err := c2.Result(ctx, st1.ID)
+	if err != nil {
+		t.Fatalf("recovered result: %v; stderr:\n%s", err, stderr2.String())
+	}
+	if res1b.Score != res1.Score || len(res1b.Pairs) != len(res1.Pairs) {
+		t.Fatalf("recovered result drifted: score %v→%v, %d→%d pairs",
+			res1.Score, res1b.Score, len(res1.Pairs), len(res1b.Pairs))
+	}
+	for k, v := range res1.Pairs {
+		if res1b.Pairs[k] != v {
+			t.Errorf("recovered pair %s: %q, want %q", k, res1b.Pairs[k], v)
+		}
+	}
+
+	// 6. The interrupted job was requeued and re-seeded. Let the resumed
+	// search run briefly, then cancel: the anytime result must score at least
+	// the persisted checkpoint (the seed is a floor, not a hint).
+	runDeadline := time.Now().Add(60 * time.Second)
+	for {
+		js, err := c2.Status(ctx, st2.ID)
+		if err != nil {
+			t.Fatalf("recovered status: %v", err)
+		}
+		if js.State == server.StateRunning || js.State == server.StateDone || js.State == server.StateFailed {
+			break
+		}
+		if time.Now().After(runDeadline) {
+			t.Fatalf("requeued job never ran (state %s); stderr:\n%s", js.State, stderr2.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(250 * time.Millisecond)
+	c2.Cancel(ctx, st2.ID) //nolint:errcheck // no-op if the job already finished
+	final2, err := c2.Wait(ctx, st2.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait requeued: %v", err)
+	}
+	if final2.State != server.StateDone {
+		t.Fatalf("requeued job ended %s (%s), want done; stderr:\n%s", final2.State, final2.Error, stderr2.String())
+	}
+	res2, err := c2.Result(ctx, st2.ID)
+	if err != nil || len(res2.Pairs) == 0 {
+		t.Fatalf("requeued result: %v (%d pairs)", err, len(res2.Pairs))
+	}
+	if res2.Score < ckScore-1e-9 {
+		t.Fatalf("resumed search regressed below its checkpoint: %v < %v", res2.Score, ckScore)
+	}
+
+	// 7. Clean exit, then an offline replay: every journaled job terminal,
+	// results still on disk, journal un-torn after the repair + reappends.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd2.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("recovered daemon exited non-zero: %v; stderr:\n%s", err, stderr2.String())
+		}
+	case <-time.After(60 * time.Second):
+		cmd2.Process.Kill()
+		t.Fatalf("recovered daemon hung on SIGTERM; stderr:\n%s", stderr2.String())
+	}
+	stc, rec, err := store.Open(ctx, dataDir, store.Options{Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatalf("final replay: %v", err)
+	}
+	defer stc.Close()
+	if rec.Torn != 0 {
+		t.Errorf("journal still torn after repair: %d", rec.Torn)
+	}
+	if len(rec.Jobs) != 2 {
+		t.Fatalf("final replay found %d jobs, want 2", len(rec.Jobs))
+	}
+	for _, j := range rec.Jobs {
+		if !j.Terminal() {
+			t.Errorf("job %s not terminal after recovery: state %q", j.ID, j.State)
+		}
+		if j.ResultHash != "" {
+			if _, err := stc.Artifact(ctx, j.ResultHash); err != nil {
+				t.Errorf("job %s result artifact missing: %v", j.ID, err)
+			}
+		}
+	}
+}
+
+// bestJournalCheckpoint scans the journal for jobID's highest-scoring
+// checkpoint that carries a non-empty mapping.
+func bestJournalCheckpoint(t *testing.T, dataDir, jobID string) (float64, bool) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dataDir, "journal.log"))
+	if err != nil {
+		return 0, false
+	}
+	best, found := 0.0, false
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) < 10 {
+			continue
+		}
+		var r store.Record
+		if json.Unmarshal(line[9:], &r) != nil {
+			continue
+		}
+		if r.Type == store.RecordCheckpoint && r.JobID == jobID &&
+			r.Checkpoint != nil && len(r.Checkpoint.Pairs) > 0 {
+			found = true
+			if r.Checkpoint.Score > best {
+				best = r.Checkpoint.Score
+			}
+		}
+	}
+	return best, found
 }
 
 // runCLI runs cmd/eventmatch on the written Fig. 1 inputs and parses its

@@ -11,6 +11,7 @@ func TestCtxpass(t *testing.T) {
 	analysistest.Run(t, ctxpass.Analyzer, "testdata",
 		"eventmatch/internal/match",
 		"eventmatch/internal/server",
+		"eventmatch/internal/server/store",
 		"eventmatch/toplevel",
 	)
 }

@@ -1,0 +1,47 @@
+// Fixture mirroring the durability layer's contract: every store mutation
+// method takes a context first and threads it down to the WAL primitive.
+// Swallowing the caller's context (context.Background/TODO with a ctx
+// parameter in scope) breaks cancellation of journal appends and is flagged.
+package store
+
+import "context"
+
+type journal struct{}
+
+func (j *journal) append(ctx context.Context, line []byte) error {
+	return ctx.Err()
+}
+
+type store struct {
+	j *journal
+}
+
+// AppendState threads the caller's context to the WAL primitive: accepted.
+func (s *store) AppendState(ctx context.Context, jobID, state string) error {
+	return s.j.append(ctx, []byte(jobID+" "+state))
+}
+
+// PutArtifact derives from the caller's context: accepted.
+func (s *store) PutArtifact(ctx context.Context, key string, data []byte) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.j.append(wctx, data)
+}
+
+// badAppend swallows the caller's context mid-chain — the append becomes
+// uncancellable even though every caller dutifully passed a context down.
+func (s *store) badAppend(ctx context.Context, jobID string) error {
+	return s.j.append(context.Background(), []byte(jobID)) // want `a context parameter is in scope; pass it through instead`
+}
+
+// badTODO is the same defect spelled with TODO.
+func (s *store) badTODO(ctx context.Context, jobID string) error {
+	return s.j.append(context.TODO(), []byte(jobID)) // want `a context parameter is in scope; pass it through instead`
+}
+
+// open is a documented entry point with no provider in scope: accepted. The
+// real store's detached persist context (context.WithoutCancel) is built once
+// at server startup, not inside mutation methods.
+func open() context.Context {
+	return context.Background()
+}

@@ -34,16 +34,17 @@ func (pr *Problem) HeuristicAdvancedContext(ctx context.Context, opts Options) (
 	span := tele.advancedTime.Start()
 	m, st, err := pr.heuristicAdvanced(ctx, opts, tele)
 	span.Stop()
+	m, st = pr.applySeedFloor(opts, m, st, err)
 	tele.noteRescore(pr, m)
 	tele.finish(&st)
 	return m, st, err
 }
 
 // heuristicAdvanced is the Algorithm 3 loop behind HeuristicAdvancedContext.
-func (pr *Problem) heuristicAdvanced(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
+func (pr *Problem) heuristicAdvanced(ctx context.Context, opts Options, tele *searchTelemetry) (m Mapping, st Stats, err error) {
 	start := time.Now()
-	var st Stats
 	stop := newStopper(ctx, opts, start)
+	defer func() { m, st = pr.applyCheckpointFloor(stop, m, st, err) }()
 	pr.applyWorkers(opts)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	n := n1
@@ -88,6 +89,28 @@ func (pr *Problem) heuristicAdvanced(ctx context.Context, opts Options, tele *se
 			matchY[pair[1]] = pair[0]
 		}
 	}
+
+	// Checkpoint snapshots during augmentation read the committed matching
+	// (matchX is only reassigned between rounds on this goroutine), complete
+	// it greedily and score it — the same shape the anytime exit produces.
+	stop.onSnapshot(func() (Mapping, float64) {
+		snap := NewMapping(n1)
+		for i := 0; i < n1; i++ {
+			if j := matchX[i]; j >= 0 && j < n2 {
+				snap[i] = event.ID(j)
+			}
+		}
+		used := make([]bool, n2)
+		for _, v := range snap {
+			if v != event.None {
+				used[v] = true
+			}
+		}
+		pr.completeGreedy(snap, used, opts)
+		assertInjective("advanced checkpoint snapshot", snap)
+		score := pr.Distance(snap)
+		return pr.stripArtificial(snap), score
+	})
 
 rounds:
 	for round := 0; round < n; round++ {
@@ -150,7 +173,7 @@ rounds:
 		lx, ly = best.lx, best.ly
 	}
 
-	m := NewMapping(n1)
+	m = NewMapping(n1)
 	for i := 0; i < n1; i++ {
 		if j := matchX[i]; j >= 0 && j < n2 {
 			m[i] = event.ID(j)
@@ -190,6 +213,13 @@ rounds:
 		// commitments that augmenting paths alone did not revisit. Each swap is
 		// evaluated incrementally through the Ip index.
 		if !opts.NoRepair {
+			// Repair mutates the complete mapping in place; between poll
+			// sites it is always a valid complete mapping, so checkpoint
+			// snapshots just clone and score it.
+			stop.onSnapshot(func() (Mapping, float64) {
+				snap := m.Clone()
+				return pr.stripArtificial(snap), pr.Distance(snap)
+			})
 			pr.repair(m, &st, opts, stop, tele)
 		}
 	}

@@ -68,6 +68,27 @@ type Options struct {
 	// negative selects DefaultProgressEvery.
 	ProgressEvery time.Duration
 
+	// Checkpoint, when non-nil, receives periodic best-so-far snapshots —
+	// a complete mapping plus its score — while the search runs, at most one
+	// per CheckpointEvery. It rides the same poll sites as Progress and is
+	// likewise invoked synchronously on the search goroutine: copy the
+	// snapshot out (the mapping is already caller-owned) and return quickly.
+	// Services persist these snapshots so an interrupted search can resume
+	// via Seed instead of restarting from zero.
+	Checkpoint func(Checkpoint)
+	// CheckpointEvery is the minimum interval between Checkpoint calls; zero
+	// or negative selects DefaultCheckpointEvery.
+	CheckpointEvery time.Duration
+
+	// Seed, when non-nil, warm-starts the search with a previously computed
+	// mapping (typically a persisted Checkpoint.Mapping): the returned result
+	// is guaranteed to score at least as high as the seed, even when a budget
+	// fires immediately. The seed must be an injective mapping over L1 of the
+	// problem's exact dimensions; invalid seeds are ignored. The guarantee is
+	// implemented as a result floor — if the search's own result scores below
+	// the seed, the seed is returned instead (with the search's Stats).
+	Seed Mapping
+
 	// NaiveOrder expands V1 events in id order instead of the §3.1
 	// most-patterns-first order.
 	NaiveOrder bool
@@ -148,16 +169,17 @@ func (pr *Problem) AStarContext(ctx context.Context, opts Options) (Mapping, Sta
 	span := tele.astarTime.Start()
 	m, st, err := pr.astarSearch(ctx, opts, tele)
 	span.Stop()
+	m, st = pr.applySeedFloor(opts, m, st, err)
 	tele.noteRescore(pr, m)
 	tele.finish(&st)
 	return m, st, err
 }
 
 // astarSearch is the Algorithm 1 loop behind AStarContext.
-func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
+func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTelemetry) (m Mapping, st Stats, err error) {
 	start := time.Now()
-	var st Stats
 	stop := newStopper(ctx, opts, start)
+	defer func() { m, st = pr.applyCheckpointFloor(stop, m, st, err) }()
 	pr.applyWorkers(opts)
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
@@ -176,8 +198,15 @@ func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTe
 	heap.Init(q)
 	pruned := false
 
+	// Checkpoint snapshots complete the most recently popped node — the best
+	// frontier node at that instant, the same base the anytime truncation
+	// path would use.
+	var ckptCur *node
+	stop.onSnapshot(pr.snapshotNode(func() *node { return ckptCur }, opts))
+
 	for q.Len() > 0 {
 		cur := heap.Pop(q).(*node)
+		ckptCur = cur
 		if cur.depth == depthGoal {
 			assertInjective("astar goal", cur.m)
 			st.Elapsed = time.Since(start)

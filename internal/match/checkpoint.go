@@ -1,0 +1,85 @@
+package match
+
+import "eventmatch/internal/event"
+
+// This file implements the durability half of the anytime contract:
+// best-so-far snapshots (Options.Checkpoint) and warm-started resumption
+// (Options.Seed). Every search installs a snapshot closure on its stopper —
+// the closure completes the search's current partial state into a full
+// injective mapping, exactly as the anytime truncation paths would — and the
+// stopper emits rate-limited Checkpoint values from its poll sites. On the
+// resume side, a valid seed acts as a floor on the returned result, so a
+// search restarted from a persisted checkpoint can never come back worse
+// than the checkpoint it resumed from.
+
+// snapshotNode builds the snapshot closure shared by A* and Greedy: complete
+// the node's partial mapping greedily, strip artificial targets, and score.
+// The node pointer is read through the getter at emission time, so the
+// closure always snapshots the search's latest state.
+func (pr *Problem) snapshotNode(get func() *node, opts Options) func() (Mapping, float64) {
+	return func() (Mapping, float64) {
+		cur := get()
+		if cur == nil {
+			return nil, 0
+		}
+		m := cur.m.Clone()
+		used := append([]bool(nil), cur.used...)
+		pr.completeGreedy(m, used, opts)
+		assertInjective("checkpoint snapshot", m)
+		score := pr.Distance(m)
+		return pr.stripArtificial(m), score
+	}
+}
+
+// applyCheckpointFloor enforces the search's own emitted checkpoints as a
+// quality floor, mirroring applySeedFloor: whatever score a caller saw in a
+// Checkpoint, the returned result never scores below it. Without this a
+// greedy completion captured at a poll site could beat the incumbent the
+// truncation path returns, and a persisted checkpoint would overpromise.
+// Errors pass through untouched.
+func (pr *Problem) applyCheckpointFloor(stop *stopper, m Mapping, st Stats, err error) (Mapping, Stats) {
+	if err != nil || stop.bestCkpt == nil {
+		return m, st
+	}
+	if m != nil && st.Score >= stop.bestCkptScore {
+		return m, st
+	}
+	st.Score = stop.bestCkptScore
+	return stop.bestCkpt.Clone(), st
+}
+
+// validSeed reports whether seed can floor a result for this problem: right
+// dimensions, targets inside the real V2, and injective.
+func (pr *Problem) validSeed(seed Mapping) bool {
+	if seed == nil || len(seed) != pr.L1.NumEvents() {
+		return false
+	}
+	used := make([]bool, pr.n2real)
+	for _, v := range seed {
+		if v == event.None {
+			continue
+		}
+		if int(v) >= pr.n2real || used[v] {
+			return false
+		}
+		used[v] = true
+	}
+	return true
+}
+
+// applySeedFloor enforces Options.Seed as a quality floor: when the search's
+// result scores below the seed, the seed (re-scored, cloned) replaces it.
+// Stats keep the search's effort counters and truncation verdict — the floor
+// changes what is returned, not what was spent. Errors pass through
+// untouched: a search that could not produce any mapping reports that fact.
+func (pr *Problem) applySeedFloor(opts Options, m Mapping, st Stats, err error) (Mapping, Stats) {
+	if err != nil || !pr.validSeed(opts.Seed) {
+		return m, st
+	}
+	seedScore := pr.Distance(opts.Seed)
+	if m != nil && st.Score >= seedScore {
+		return m, st
+	}
+	st.Score = seedScore
+	return opts.Seed.Clone(), st
+}

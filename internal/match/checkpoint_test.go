@@ -1,0 +1,231 @@
+package match
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"eventmatch/internal/event"
+)
+
+// runWithCheckpoints executes one algorithm with a nanosecond checkpoint
+// cadence (every poll site emits) and returns the captured checkpoints.
+func runWithCheckpoints(t *testing.T, algo func(*Problem, context.Context, Options) (Mapping, Stats, error)) (*Problem, []Checkpoint) {
+	t.Helper()
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cks []Checkpoint
+	opts := Options{
+		Bound:           BoundSharp,
+		CheckpointEvery: time.Nanosecond,
+		Checkpoint:      func(ck Checkpoint) { cks = append(cks, ck) },
+	}
+	m, _, err := algo(pr, context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injective(t, m)
+	return pr, cks
+}
+
+func TestCheckpointHookFiresAcrossAlgorithms(t *testing.T) {
+	algos := map[string]func(*Problem, context.Context, Options) (Mapping, Stats, error){
+		"astar":    (*Problem).AStarContext,
+		"greedy":   (*Problem).GreedyExpandContext,
+		"advanced": (*Problem).HeuristicAdvancedContext,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			pr, cks := runWithCheckpoints(t, algo)
+			if len(cks) == 0 {
+				t.Fatalf("%s: no checkpoints delivered", name)
+			}
+			for i, ck := range cks {
+				// Every checkpoint must be a complete injective mapping over
+				// the real target alphabet, scored consistently.
+				injective(t, ck.Mapping)
+				if len(ck.Mapping) != pr.L1.NumEvents() {
+					t.Fatalf("%s: checkpoint %d mapping has %d entries, want %d",
+						name, i, len(ck.Mapping), pr.L1.NumEvents())
+				}
+				if got := pr.Distance(ck.Mapping); math.Abs(got-ck.Score) > 1e-9 {
+					t.Fatalf("%s: checkpoint %d score %v, rescore %v", name, i, ck.Score, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointStreamMonotone: emitted checkpoint scores never regress —
+// greedy completions of successive nodes fluctuate, and a persisted stream
+// that dips would let a recovery seed from a worse snapshot than one it
+// already journaled.
+func TestCheckpointStreamMonotone(t *testing.T) {
+	algos := map[string]func(*Problem, context.Context, Options) (Mapping, Stats, error){
+		"astar":    (*Problem).AStarContext,
+		"greedy":   (*Problem).GreedyExpandContext,
+		"advanced": (*Problem).HeuristicAdvancedContext,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			_, cks := runWithCheckpoints(t, algo)
+			for i := 1; i < len(cks); i++ {
+				if cks[i].Score <= cks[i-1].Score {
+					t.Fatalf("%s: checkpoint %d score %v does not improve on %v",
+						name, i, cks[i].Score, cks[i-1].Score)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointFloorsResult: whatever score the checkpoint hook reported,
+// the search's final result must never come back below it — even when the
+// truncation path's incumbent is worse than a lucky greedy completion
+// captured at a poll site.
+func TestCheckpointFloorsResult(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := map[string]func(*Problem, context.Context, Options) (Mapping, Stats, error){
+		"astar":    (*Problem).AStarContext,
+		"greedy":   (*Problem).GreedyExpandContext,
+		"advanced": (*Problem).HeuristicAdvancedContext,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			best := math.Inf(-1)
+			m, st, err := algo(pr, context.Background(), Options{
+				Bound:           BoundSimple,
+				MaxGenerated:    1, // truncate almost immediately
+				CheckpointEvery: time.Nanosecond,
+				Checkpoint: func(ck Checkpoint) {
+					if ck.Score > best {
+						best = ck.Score
+					}
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			injective(t, m)
+			if !math.IsInf(best, -1) && st.Score < best-1e-9 {
+				t.Fatalf("%s: final score %v below best emitted checkpoint %v", name, st.Score, best)
+			}
+		})
+	}
+}
+
+func TestCheckpointRateLimited(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	_, _, err = pr.AStarContext(context.Background(), Options{
+		Bound:           BoundSharp,
+		CheckpointEvery: time.Hour,
+		Checkpoint:      func(Checkpoint) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("checkpoint fired %d times within one interval, want 0", calls)
+	}
+}
+
+// TestSeedFloorsResult: a search whose budget fires immediately must still
+// return at least the seed's score — the resume-from-checkpoint guarantee.
+func TestSeedFloorsResult(t *testing.T) {
+	l1, l2, truth := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedScore := pr.Distance(truth)
+	if seedScore <= 0 {
+		t.Fatalf("truth mapping scores %v, want > 0", seedScore)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every search truncates at its first poll
+
+	algos := map[string]func(*Problem, context.Context, Options) (Mapping, Stats, error){
+		"astar":    (*Problem).AStarContext,
+		"greedy":   (*Problem).GreedyExpandContext,
+		"advanced": (*Problem).HeuristicAdvancedContext,
+	}
+	for name, algo := range algos {
+		t.Run(name, func(t *testing.T) {
+			m, st, err := algo(pr, ctx, Options{Bound: BoundSimple, Seed: truth.Clone()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			injective(t, m)
+			if st.Score < seedScore-1e-9 {
+				t.Fatalf("seeded result score %v < seed score %v", st.Score, seedScore)
+			}
+			if got := pr.Distance(m); math.Abs(got-st.Score) > 1e-9 {
+				t.Fatalf("reported score %v, rescore %v", st.Score, got)
+			}
+		})
+	}
+}
+
+// TestSeedIgnoredWhenWorse: with no budget pressure the search's own result
+// wins whenever it scores at least the seed.
+func TestSeedIgnoredWhenWorse(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad (but valid) seed: a rotated injective assignment.
+	n := l1.NumEvents()
+	bad := NewMapping(n)
+	for i := 0; i < n; i++ {
+		bad[i] = event.ID((i + 1) % n)
+	}
+	badScore := pr.Distance(bad)
+	m, st, err := pr.AStarContext(context.Background(), Options{Bound: BoundSharp, Seed: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injective(t, m)
+	if st.Score < badScore-1e-9 {
+		t.Fatalf("result score %v below seed floor %v", st.Score, badScore)
+	}
+	if st.Truncated {
+		t.Fatalf("unbudgeted run reported truncation: %+v", st)
+	}
+}
+
+// TestSeedInvalidIgnored: seeds of the wrong shape must not influence the
+// result (and must not panic).
+func TestSeedInvalidIgnored(t *testing.T) {
+	l1, l2, _ := chainLogs()
+	pr, err := BuildProblem(l1, l2, chainPatterns(t, l1), ModePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, seed := range map[string]Mapping{
+		"short":         NewMapping(2),
+		"non-injective": {0, 0, 1, 2, 3, 4},
+		"out-of-range":  {99, 1, 2, 3, 4, 5},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, _, err := pr.AStarContext(context.Background(), Options{Bound: BoundSharp, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			injective(t, m)
+		})
+	}
+}

@@ -28,16 +28,17 @@ func (pr *Problem) GreedyExpandContext(ctx context.Context, opts Options) (Mappi
 	span := tele.greedyTime.Start()
 	m, st, err := pr.greedyExpand(ctx, opts, tele)
 	span.Stop()
+	m, st = pr.applySeedFloor(opts, m, st, err)
 	tele.noteRescore(pr, m)
 	tele.finish(&st)
 	return m, st, err
 }
 
 // greedyExpand is the loop behind GreedyExpandContext.
-func (pr *Problem) greedyExpand(ctx context.Context, opts Options, tele *searchTelemetry) (Mapping, Stats, error) {
+func (pr *Problem) greedyExpand(ctx context.Context, opts Options, tele *searchTelemetry) (m Mapping, st Stats, err error) {
 	start := time.Now()
-	var st Stats
 	stop := newStopper(ctx, opts, start)
+	defer func() { m, st = pr.applyCheckpointFloor(stop, m, st, err) }()
 	pr.applyWorkers(opts) // search stays sequential; trace scans use the pool
 	n1, n2 := pr.L1.NumEvents(), pr.n2pad
 	depthGoal := n1
@@ -45,6 +46,9 @@ func (pr *Problem) greedyExpand(ctx context.Context, opts Options, tele *searchT
 		depthGoal = n2
 	}
 	cur := &node{m: NewMapping(n1), used: make([]bool, n2)}
+	// Checkpoint snapshots complete the last committed node, the same base
+	// the truncation path uses when a budget fires between commitments.
+	stop.onSnapshot(pr.snapshotNode(func() *node { return cur }, opts))
 	for cur.depth < depthGoal {
 		if reason, halt := stop.now(&st); halt {
 			return pr.truncateGreedy(cur, opts, &st, reason, start)

@@ -32,10 +32,34 @@ const checkEvery = 256
 // calls when Options.ProgressEvery is zero.
 const DefaultProgressEvery = 100 * time.Millisecond
 
+// DefaultCheckpointEvery is the minimum interval between Options.Checkpoint
+// calls when Options.CheckpointEvery is zero. Checkpoints are much more
+// expensive than progress snapshots (each one completes the current partial
+// mapping greedily and rescores it), so the default cadence is coarse.
+const DefaultCheckpointEvery = 2 * time.Second
+
 // Progress is a point-in-time view of a running search's effort, delivered
 // to Options.Progress while the algorithm runs. It carries only cheap
 // counters — no mapping — so emitting one costs nothing but a closure call.
 type Progress struct {
+	Expanded  int           // tree nodes expanded so far
+	Generated int           // candidate mappings processed so far
+	Elapsed   time.Duration // wall-clock time since the search started
+}
+
+// Checkpoint is a periodic best-so-far snapshot of a running search,
+// delivered to Options.Checkpoint. Unlike Progress it carries a complete
+// injective mapping (the search's current partial mapping completed greedily,
+// exactly what the anytime truncation paths would return if the search were
+// cut at this instant) plus its pattern normal distance. Callers own the
+// mapping — it is a fresh copy, never aliased by the search.
+//
+// Checkpoints are the durability half of the anytime contract: a service
+// that persists the latest Checkpoint can re-seed an interrupted search via
+// Options.Seed and resume with at least the checkpointed score.
+type Checkpoint struct {
+	Mapping   Mapping       // complete best-so-far mapping (caller-owned copy)
+	Score     float64       // pattern normal distance of Mapping
 	Expanded  int           // tree nodes expanded so far
 	Generated int           // candidate mappings processed so far
 	Elapsed   time.Duration // wall-clock time since the search started
@@ -57,6 +81,23 @@ type stopper struct {
 	progress  func(Progress) // nil: no progress reporting
 	progEvery time.Duration
 	lastProg  time.Time
+
+	// checkpoint emission: the hook comes from Options.Checkpoint, the
+	// snapshot closure is installed by each search (it knows how to complete
+	// its current partial state into a full mapping). Both run synchronously
+	// on the search goroutine, so they see a quiescent search state.
+	checkpoint func(Checkpoint)
+	snapshot   func() (Mapping, float64) // nil until the search installs one
+	ckptEvery  time.Duration
+	lastCkpt   time.Time
+
+	// Best checkpoint emitted so far. Greedy completions of successive
+	// current nodes fluctuate, so raw snapshots are not monotone; emission
+	// is gated on beating this score (the persisted stream only improves)
+	// and the retained mapping floors the search's final result — a caller
+	// can never observe a checkpointed score the result then regresses below.
+	bestCkpt      Mapping
+	bestCkptScore float64
 }
 
 func newStopper(ctx context.Context, opts Options, start time.Time) *stopper {
@@ -72,7 +113,22 @@ func newStopper(ctx context.Context, opts Options, start time.Time) *stopper {
 		}
 		s.lastProg = start
 	}
+	if opts.Checkpoint != nil {
+		s.checkpoint = opts.Checkpoint
+		s.ckptEvery = opts.CheckpointEvery
+		if s.ckptEvery <= 0 {
+			s.ckptEvery = DefaultCheckpointEvery
+		}
+		s.lastCkpt = start
+	}
 	return s
+}
+
+// onSnapshot installs the search's best-so-far snapshot closure, enabling
+// checkpoint emission from the poll sites. Searches re-install it when they
+// change phase (e.g. HeuristicAdvanced's augmentation → repair transition).
+func (s *stopper) onSnapshot(fn func() (Mapping, float64)) {
+	s.snapshot = fn
 }
 
 // now reports whether the search must stop, polling every signal.
@@ -80,10 +136,25 @@ func (s *stopper) now(st *Stats) (string, bool) {
 	if s.reason != "" {
 		return s.reason, true
 	}
-	if s.progress != nil {
-		if t := time.Now(); t.Sub(s.lastProg) >= s.progEvery {
+	if s.progress != nil || (s.checkpoint != nil && s.snapshot != nil) {
+		t := time.Now()
+		if s.progress != nil && t.Sub(s.lastProg) >= s.progEvery {
 			s.lastProg = t
 			s.progress(Progress{Expanded: st.Expanded, Generated: st.Generated, Elapsed: t.Sub(s.start)})
+		}
+		if s.checkpoint != nil && s.snapshot != nil && t.Sub(s.lastCkpt) >= s.ckptEvery {
+			s.lastCkpt = t
+			if m, score := s.snapshot(); m != nil && (s.bestCkpt == nil || score > s.bestCkptScore) {
+				s.bestCkpt = m.Clone()
+				s.bestCkptScore = score
+				s.checkpoint(Checkpoint{
+					Mapping:   m,
+					Score:     score,
+					Expanded:  st.Expanded,
+					Generated: st.Generated,
+					Elapsed:   t.Sub(s.start),
+				})
+			}
 		}
 	}
 	switch {

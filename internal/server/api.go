@@ -207,6 +207,13 @@ type ErrorResponse struct {
 	// RetryAfterSec accompanies HTTP 429: the suggested backoff, also sent
 	// as a Retry-After header.
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+	// State carries the job's lifecycle state on result-endpoint errors, so
+	// clients can distinguish "terminal, no result will ever exist" (failed,
+	// canceled) from "not yet" (queued, running) without parsing the message.
+	State JobState `json:"state,omitempty"`
+	// StopReason names what ended the job when that is known (e.g.
+	// "canceled" for a job canceled before it started).
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // progressInfo converts a search snapshot to its wire form.

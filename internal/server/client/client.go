@@ -7,12 +7,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"mime/multipart"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"eventmatch/internal/server"
@@ -21,12 +25,14 @@ import (
 
 // Client talks to one eventmatchd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
-// httpClient may be nil for http.DefaultClient.
+// httpClient may be nil for http.DefaultClient. The client does not retry by
+// default; see WithRetry.
 func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -34,15 +40,106 @@ func New(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
+// RetryPolicy controls automatic retries of retryable failures (see
+// Retryable): exponential backoff with full jitter, honoring the server's
+// Retry-After hint on saturation rejects.
+//
+// Retries give at-least-once semantics: a request that died mid-response
+// (connection reset, unexpected EOF) may already have taken effect, so a
+// retried Submit can occasionally create a second job. Pollers and the
+// crash-recovery design tolerate that; callers that cannot should retry
+// only reads.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries. Values <= 1 disable retry.
+	MaxAttempts int
+	// BaseDelay is the first backoff step. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Default 5s. A server Retry-After
+	// hint overrides the computed delay but is still capped at 2*MaxDelay.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// (full-jitter style) to de-synchronize competing clients. Default 0.5;
+	// negative disables jitter (deterministic delays, for tests).
+	Jitter float64
+}
+
+// DefaultRetryPolicy is a sane interactive policy: 4 attempts, 100ms base,
+// 5s cap, half-jittered.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.5}
+}
+
+// WithRetry returns a copy of the client that retries retryable failures
+// under p.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
+// delay computes the backoff before attempt retry (0-based: the delay after
+// the first failure is delay(0)).
+func (p RetryPolicy) delay(attempt int, err error) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << attempt
+	if d > maxd || d <= 0 { // <= 0: shift overflow
+		d = maxd
+	}
+	// A saturated server tells us when to come back; believe it (within
+	// reason) instead of guessing.
+	var sat *SaturatedError
+	if errors.As(err, &sat) && sat.RetryAfter > 0 {
+		d = sat.RetryAfter
+		if d > 2*maxd {
+			d = 2 * maxd
+		}
+	}
+	jitter := p.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		d = time.Duration(float64(d) * (1 - jitter + jitter*rand.Float64()))
+	}
+	return d
+}
+
 // StatusError is any non-2xx API response that is not a saturation reject.
+// When the error came from the result endpoint it also carries the job's
+// lifecycle state and stop reason, so callers can tell a terminal "no result
+// will ever exist" (failed, canceled) from a transient "not yet" (queued,
+// running) without matching on status codes.
 type StatusError struct {
 	Code int
 	Msg  string
+	// State is the job state reported by the server ("" when the error is
+	// not about a specific job).
+	State server.JobState
+	// StopReason names what ended the job, when the server knows (e.g.
+	// "canceled").
+	StopReason string
 }
 
 func (e *StatusError) Error() string {
+	if e.State != "" {
+		return fmt.Sprintf("server: HTTP %d (job %s): %s", e.Code, e.State, e.Msg)
+	}
 	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Msg)
 }
+
+// TerminalJob reports that the job reached a terminal state that will never
+// produce a result — retrying the fetch is pointless.
+func (e *StatusError) TerminalJob() bool { return e.State.Terminal() }
 
 // SaturatedError is a 429 reject: the daemon's job queue is full.
 type SaturatedError struct {
@@ -54,6 +151,42 @@ func (e *SaturatedError) Error() string {
 	return fmt.Sprintf("server: job queue full (retry after %v)", e.RetryAfter)
 }
 
+// Retryable reports whether err is worth retrying against the same daemon:
+// saturation rejects (429), gateway-style server errors (502/503/504, e.g. a
+// draining daemon), network timeouts, and connection refused/reset or an
+// unexpectedly closed connection — the signatures of a daemon restarting
+// underneath the client. Context cancellation and client errors (4xx) are
+// terminal.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var sat *SaturatedError
+	if errors.As(err, &sat) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	return false
+}
+
 // Submit submits a JSON job and returns its initial status.
 func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.JobStatus, error) {
 	body, err := json.Marshal(req)
@@ -61,7 +194,7 @@ func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (server.J
 		return server.JobStatus{}, fmt.Errorf("client: %w", err)
 	}
 	var st server.JobStatus
-	err = c.do(ctx, http.MethodPost, "/api/v1/jobs", "application/json", bytes.NewReader(body), &st)
+	err = c.do(ctx, http.MethodPost, "/api/v1/jobs", "application/json", body, &st)
 	return st, err
 }
 
@@ -128,7 +261,7 @@ func (c *Client) SubmitUpload(ctx context.Context, log1, log2 Upload, patterns, 
 		return server.JobStatus{}, fmt.Errorf("client: %w", err)
 	}
 	var st server.JobStatus
-	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", mw.FormDataContentType(), &buf, &st)
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", mw.FormDataContentType(), buf.Bytes(), &st)
 	return st, err
 }
 
@@ -210,10 +343,35 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// do runs one request and decodes the JSON response into out, mapping
-// non-2xx responses to typed errors.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// do runs one request under the client's retry policy and decodes the JSON
+// response into out. The body is a byte slice (not a reader) precisely so
+// retries can replay it.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.doOnce(ctx, method, path, contentType, body, out)
+		if err == nil || attempt+1 >= attempts || !Retryable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(c.retry.delay(attempt, err)):
+		}
+	}
+}
+
+// doOnce runs one request and maps non-2xx responses to typed errors.
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -242,7 +400,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if json.Unmarshal(data, &e) != nil || e.Error == "" {
 			e.Error = strings.TrimSpace(string(data))
 		}
-		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error, State: e.State, StopReason: e.StopReason}
 	}
 	if out == nil {
 		return nil

@@ -43,7 +43,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err.Error())
 		return
 	}
-	j, err := s.submit(spec)
+	j, err := s.submit(r.Context(), spec)
 	switch {
 	case errors.Is(err, errSaturated):
 		retry := s.retryAfter()
@@ -98,11 +98,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		writeJSON(w, http.StatusOK, res)
 	case StateFailed:
-		writeError(w, http.StatusInternalServerError, errMsg)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{
+			Error: errMsg, State: state,
+		})
 	case StateCanceled:
-		writeError(w, http.StatusGone, "job canceled before it started; no result")
+		writeJSON(w, http.StatusGone, ErrorResponse{
+			Error: "job canceled before it started; no result",
+			State: state, StopReason: "canceled",
+		})
 	default:
-		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; poll until terminal", state))
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("job is %s; poll until terminal", state),
+			State: state,
+		})
 	}
 }
 

@@ -25,8 +25,20 @@ type jobSpec struct {
 
 	rep1, rep2 logio.ReadReport
 
-	patterns []string
-	truth    match.Mapping // nil when no ground truth was submitted
+	// fmt1/fmt2 are the resolved log formats and lenient the ingestion mode —
+	// together with the content hashes they make the spec re-runnable from
+	// the artifact store after a crash.
+	fmt1, fmt2 string
+	lenient    bool
+
+	patterns   []string
+	truth      match.Mapping     // nil when no ground truth was submitted
+	truthNames map[string]string // the name-level truth as submitted
+
+	// seed, when non-nil, floors the search result — recovery sets it from
+	// the job's last persisted checkpoint so a re-run never scores worse than
+	// what was already reported as progress.
+	seed match.Mapping
 
 	timeout      time.Duration
 	maxGenerated int
@@ -46,6 +58,12 @@ type job struct {
 	// the anytime searches then checkpoint their best-so-far mapping.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// persist, when non-nil, journals a lifecycle transition. It is called
+	// under mu BEFORE the in-memory state changes — write-ahead ordering: a
+	// crash can lose a transition the caller was never shown, never the
+	// reverse. Set once at admission, before the job is visible to workers.
+	persist func(state JobState, errMsg string)
 
 	mu              sync.Mutex
 	state           JobState
@@ -75,6 +93,9 @@ func (j *job) start() bool {
 	if j.state != StateQueued {
 		return false
 	}
+	if j.persist != nil {
+		j.persist(StateRunning, "")
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	return true
@@ -84,14 +105,19 @@ func (j *job) start() bool {
 func (j *job) finish(res *JobResult, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.finished = time.Now()
+	state, msg := StateDone, ""
 	if err != nil {
-		j.state = StateFailed
-		j.errMsg = err.Error()
-		return
+		state, msg = StateFailed, err.Error()
 	}
-	j.state = StateDone
-	j.result = res
+	if j.persist != nil {
+		j.persist(state, msg)
+	}
+	j.finished = time.Now()
+	j.state = state
+	j.errMsg = msg
+	if err == nil {
+		j.result = res
+	}
 }
 
 // requestCancel delivers a cancellation. A queued job goes terminal
@@ -103,6 +129,9 @@ func (j *job) requestCancel() bool {
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued:
+		if j.persist != nil {
+			j.persist(StateCanceled, "")
+		}
 		j.state = StateCanceled
 		j.cancelRequested = true
 		j.finished = time.Now()
@@ -190,6 +219,25 @@ func (s *jobStore) add(j *job) {
 			kept = append(kept, old)
 		}
 		s.order = kept
+	}
+}
+
+// addRecovered registers a replayed job under its journaled id, keeping the
+// id sequence ahead of every recovered id so new submissions never collide.
+func (s *jobStore) addRecovered(j *job, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.id = id
+	s.byID[id] = j
+	s.order = append(s.order, j)
+}
+
+// bumpSeq raises the id sequence to at least n (the journal's max job seq).
+func (s *jobStore) bumpSeq(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.next {
+		s.next = n
 	}
 }
 

@@ -1,0 +1,334 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/match"
+	"eventmatch/internal/server/store"
+)
+
+// This file is the server side of the durability layer: translating the job
+// lifecycle into journal records (write-ahead), shipping uploaded logs and
+// results into the artifact store, and rebuilding jobs from a replayed
+// journal on boot.
+//
+// Persistence failures are counted (server.persist_errors) but never take
+// the service down: a daemon with a sick disk degrades to the in-memory
+// behavior instead of refusing work. The one place durability gates
+// correctness — the crash-recovery e2e — exercises the happy path.
+
+// persistLogArtifact stores one uploaded log under its content key. No-op
+// without a store; idempotent by content addressing.
+func (s *Server) persistLogArtifact(key string, data []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.PutArtifact(s.persistCtx, key, data); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
+// persistSubmit journals a freshly admitted job's spec. The log artifacts
+// were already stored by ingest, so the record only carries their keys.
+func (s *Server) persistSubmit(ctx context.Context, j *job) {
+	if s.store == nil {
+		return
+	}
+	spec := j.spec
+	rec := &store.SpecRecord{
+		Algorithm:       spec.algoName,
+		Log1:            store.LogRef{Key: spec.h1, Format: spec.fmt1},
+		Log2:            store.LogRef{Key: spec.h2, Format: spec.fmt2},
+		Patterns:        spec.patterns,
+		Truth:           spec.truthNames,
+		TimeoutMS:       spec.timeout.Milliseconds(),
+		MaxGenerated:    spec.maxGenerated,
+		MaxFrontier:     spec.maxFrontier,
+		Workers:         spec.workers,
+		Lenient:         spec.lenient,
+		CreatedUnixNano: j.created.UnixNano(),
+	}
+	if err := s.store.AppendSubmit(ctx, j.id, rec, time.Now().UnixNano()); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
+// statePersister returns the job's persist hook: it journals one lifecycle
+// transition and is called under the job mutex before the in-memory change.
+// It uses the detached persist context so the shutdown force-cancel cannot
+// abort the final done/failed records. Nil without a store.
+func (s *Server) statePersister(id string) func(state JobState, errMsg string) {
+	if s.store == nil {
+		return nil
+	}
+	return func(state JobState, errMsg string) {
+		if err := s.store.AppendState(s.persistCtx, id, string(state), errMsg, time.Now().UnixNano()); err != nil {
+			s.persistErrs.Inc()
+		}
+	}
+}
+
+// persistResult stores a done job's result blob and journals the binding.
+// The result record lands BEFORE the done transition (runJob calls this
+// ahead of j.finish), so on replay a stored result proves completion.
+func (s *Server) persistResult(j *job, res *JobResult) {
+	if s.store == nil {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		s.persistErrs.Inc()
+		return
+	}
+	hash, err := s.store.PutResult(s.persistCtx, data)
+	if err != nil {
+		s.persistErrs.Inc()
+		return
+	}
+	if err := s.store.AppendResult(s.persistCtx, j.id, hash, time.Now().UnixNano()); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
+// ckptMsg is one checkpoint on its way to the journal.
+type ckptMsg struct {
+	jobID string
+	rec   *store.CheckpointRecord
+}
+
+// checkpointHook adapts the search's checkpoint callback to the async
+// journal writer. The hook runs synchronously on the search goroutine, so it
+// must not block: a full writer queue drops the snapshot (counted) — the
+// next one is at most a checkpoint interval away.
+func (s *Server) checkpointHook(j *job) func(match.Checkpoint) {
+	if s.store == nil {
+		return nil
+	}
+	spec := j.spec
+	return func(ck match.Checkpoint) {
+		msg := ckptMsg{
+			jobID: j.id,
+			rec: &store.CheckpointRecord{
+				Pairs:     namePairs(spec.l1, spec.l2, ck.Mapping),
+				Score:     ck.Score,
+				Expanded:  ck.Expanded,
+				Generated: ck.Generated,
+				ElapsedMS: ck.Elapsed.Milliseconds(),
+			},
+		}
+		select {
+		case s.ckptCh <- msg:
+		default:
+			s.ckptDrops.Inc()
+		}
+	}
+}
+
+// checkpointWriter drains ckptCh onto the journal. It exits when Shutdown
+// closes the channel (after all workers — the only senders — have exited).
+func (s *Server) checkpointWriter() {
+	defer close(s.ckptdone)
+	for msg := range s.ckptCh {
+		if err := s.store.AppendCheckpoint(s.persistCtx, msg.jobID, msg.rec, time.Now().UnixNano()); err != nil {
+			s.persistErrs.Inc()
+		}
+	}
+}
+
+// RecoverySummary reports what Recover reconstructed from the journal.
+type RecoverySummary struct {
+	// Jobs is the total number of journaled jobs restored into the job store.
+	Jobs int
+	// Results is how many completed jobs came back with their result served
+	// from the artifact store.
+	Results int
+	// Requeued is how many interrupted (queued or running) jobs were
+	// re-enqueued for execution, re-seeded from their last checkpoint.
+	Requeued int
+	// Failed is how many jobs could not be reconstructed (lost artifacts,
+	// spec no longer valid) and were marked failed.
+	Failed int
+}
+
+// Recover rebuilds the job store from a journal replay. Completed jobs are
+// restored with their results loaded from the artifact store; interrupted
+// jobs are re-enqueued (their searches re-seeded from the last persisted
+// checkpoint, so the re-run can never score below what was already
+// journaled); unrecoverable jobs are marked failed, durably. Call once,
+// after New and before serving traffic.
+func (s *Server) Recover(rec *store.Recovery) RecoverySummary {
+	var sum RecoverySummary
+	if s.store == nil || rec == nil {
+		return sum
+	}
+	s.jobs.bumpSeq(rec.MaxJobSeq)
+	var requeue []*job
+	for _, rj := range rec.Jobs {
+		j, enqueue := s.recoverJob(rj, &sum)
+		s.jobs.addRecovered(j, rj.ID)
+		j.persist = s.statePersister(rj.ID)
+		if enqueue {
+			requeue = append(requeue, j)
+		}
+	}
+	sum.Jobs = len(rec.Jobs)
+	if len(requeue) > 0 {
+		go s.feedRecovered(requeue)
+	}
+	return sum
+}
+
+// recoverJob turns one replayed job into a live *job, reporting whether it
+// still needs to run. Terminal jobs are reconstructed in place; interrupted
+// ones get their spec rebuilt from the stored artifacts.
+func (s *Server) recoverJob(rj *store.RecoveredJob, sum *RecoverySummary) (j *job, enqueue bool) {
+	created := time.Now()
+	if rj.Spec.CreatedUnixNano > 0 {
+		created = time.Unix(0, rj.Spec.CreatedUnixNano)
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j = &job{
+		spec:    jobSpec{algoName: rj.Spec.Algorithm},
+		created: created,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+
+	fail := func(msg string) (*job, bool) {
+		sum.Failed++
+		cancel()
+		j.state = StateFailed
+		j.errMsg = msg
+		j.finished = time.Now()
+		// The in-memory verdict must survive the next restart too.
+		if err := s.store.AppendState(s.persistCtx, rj.ID, string(StateFailed), msg, time.Now().UnixNano()); err != nil {
+			s.persistErrs.Inc()
+		}
+		return j, false
+	}
+
+	// A stored result proves completion no matter what the last state record
+	// said (the result record is ordered before the done transition).
+	if rj.ResultHash != "" {
+		data, err := s.store.Artifact(s.persistCtx, rj.ResultHash)
+		if err != nil {
+			return fail(fmt.Sprintf("recovery: result artifact %s lost: %v", rj.ResultHash, err))
+		}
+		var res JobResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return fail(fmt.Sprintf("recovery: result artifact %s unreadable: %v", rj.ResultHash, err))
+		}
+		sum.Results++
+		cancel()
+		j.state = StateDone
+		j.result = &res
+		j.finished = time.Now()
+		return j, false
+	}
+
+	switch JobState(rj.State) {
+	case StateFailed, StateCanceled:
+		cancel()
+		j.state = JobState(rj.State)
+		j.errMsg = rj.Error
+		j.finished = time.Now()
+		return j, false
+	case StateDone:
+		// Done without a result record should be impossible under the
+		// write-ahead ordering; treat a journal that claims it as lossy.
+		return fail("recovery: job marked done but no result was journaled")
+	}
+
+	// Interrupted (queued or running): rebuild the spec from artifacts and
+	// run it again, seeded by the best journaled checkpoint.
+	spec, err := s.rebuildSpec(rj)
+	if err != nil {
+		return fail(fmt.Sprintf("recovery: %v", err))
+	}
+	j.spec = spec
+	j.state = StateQueued
+	sum.Requeued++
+	return j, true
+}
+
+// rebuildSpec reconstructs a runnable jobSpec from a journaled spec record:
+// the raw logs come back from the artifact store and go through the same
+// validation path as a fresh submission, and the checkpoint (if any) is
+// resolved to an id-level seed mapping.
+func (s *Server) rebuildSpec(rj *store.RecoveredJob) (jobSpec, error) {
+	log1, err := s.store.Artifact(s.persistCtx, rj.Spec.Log1.Key)
+	if err != nil {
+		return jobSpec{}, fmt.Errorf("log1 artifact %s: %w", rj.Spec.Log1.Key, err)
+	}
+	log2, err := s.store.Artifact(s.persistCtx, rj.Spec.Log2.Key)
+	if err != nil {
+		return jobSpec{}, fmt.Errorf("log2 artifact %s: %w", rj.Spec.Log2.Key, err)
+	}
+	spec, err := s.buildSpec(SubmitRequest{
+		Log1:         LogPayload{Format: rj.Spec.Log1.Format, Data: string(log1)},
+		Log2:         LogPayload{Format: rj.Spec.Log2.Format, Data: string(log2)},
+		Patterns:     rj.Spec.Patterns,
+		Truth:        rj.Spec.Truth,
+		Algorithm:    rj.Spec.Algorithm,
+		TimeoutMS:    rj.Spec.TimeoutMS,
+		MaxGenerated: rj.Spec.MaxGenerated,
+		MaxFrontier:  rj.Spec.MaxFrontier,
+		Workers:      rj.Spec.Workers,
+		Lenient:      rj.Spec.Lenient,
+	})
+	if err != nil {
+		return jobSpec{}, err
+	}
+	if rj.Checkpoint != nil {
+		spec.seed = resolveSeed(rj.Checkpoint.Pairs, spec.l1, spec.l2)
+	}
+	return spec, nil
+}
+
+// resolveSeed maps a checkpoint's name pairs back onto event ids. Unlike a
+// ground truth, a seed is best-effort: names that no longer resolve are
+// skipped, and a seed that comes out non-injective is simply ignored by the
+// search (match.Options.Seed validates before flooring).
+func resolveSeed(pairs map[string]string, l1, l2 *event.Log) match.Mapping {
+	if len(pairs) == 0 {
+		return nil
+	}
+	m := match.NewMapping(l1.NumEvents())
+	for n1, n2 := range pairs {
+		v1 := l1.Alphabet.Lookup(n1)
+		v2 := l2.Alphabet.Lookup(n2)
+		if v1 == event.None || v2 == event.None {
+			continue
+		}
+		m[v1] = v2
+	}
+	return m
+}
+
+// feedRecovered re-enqueues recovered jobs. pool.submit is non-blocking, so
+// a recovery larger than the queue feeds in as workers free slots; if the
+// server starts draining first, the leftovers stay journaled as queued and
+// simply recover again on the next boot.
+func (s *Server) feedRecovered(jobs []*job) {
+	for _, j := range jobs {
+		for {
+			err := s.pool.submit(j)
+			if err == nil {
+				s.submitted.Inc()
+				break
+			}
+			if err == errDraining {
+				return
+			}
+			select {
+			case <-s.baseCtx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eventmatch/internal/logio"
+	"eventmatch/internal/server/store"
+)
+
+// durableServer boots a Server over the journal at dir (replaying it) behind
+// httptest. Returns the server, the HTTP harness, and the replayed recovery.
+func durableServer(t *testing.T, dir string, mutate func(*Config)) (*Server, *httptest.Server, RecoverySummary) {
+	t.Helper()
+	st, rec, err := store.Open(context.Background(), dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Workers:         2,
+		QueueDepth:      4,
+		DefaultDeadline: 5 * time.Second,
+		Store:           st,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	sum := s.Recover(rec)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		st.Close()
+	})
+	return s, ts, sum
+}
+
+// replayDir re-reads dir's journal from disk (bypassing any live store).
+func replayDir(t *testing.T, dir string) *store.Recovery {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay a copy so the live store's journal handle is never shared.
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "journal.log"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, rec, err := store.Open(context.Background(), tmp, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	return rec
+}
+
+// TestDurableLifecycleJournaled: a completed job leaves a full write-ahead
+// trail — submit, running, a result artifact bound before the done record.
+func TestDurableLifecycleJournaled(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := durableServer(t, dir, nil)
+	_, st := submitJSON(t, ts, fig1Request(t, "heuristic-advanced"))
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	var want JobResult
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/result", &want); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+
+	rec := replayDir(t, dir)
+	if len(rec.Jobs) != 1 {
+		t.Fatalf("journal has %d jobs, want 1", len(rec.Jobs))
+	}
+	rj := rec.Jobs[0]
+	if rj.ID != st.ID || rj.State != string(StateDone) || rj.ResultHash == "" {
+		t.Fatalf("replayed job: %+v", rj)
+	}
+	if rj.Spec.Algorithm != "heuristic-advanced" || rj.Spec.Log1.Key == "" || rj.Spec.Log1.Format != logio.FormatTraceLines {
+		t.Fatalf("replayed spec: %+v", rj.Spec)
+	}
+}
+
+// TestRecoverServesResultFromDisk: restart the server on the same data dir;
+// the finished job's result must come back from the artifact store, bitwise
+// compatible with what the first incarnation served.
+func TestRecoverServesResultFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	srv1, ts1, _ := durableServer(t, dir, nil)
+	_, st := submitJSON(t, ts1, fig1Request(t, "heuristic-advanced"))
+	if got := waitTerminal(t, ts1, st.ID); got.State != StateDone {
+		t.Fatalf("job ended %s", got.State)
+	}
+	var want JobResult
+	getJSON(t, ts1.URL+"/api/v1/jobs/"+st.ID+"/result", &want)
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv1.cfg.Store.Close()
+
+	_, ts2, sum := durableServer(t, dir, nil)
+	if sum.Jobs != 1 || sum.Results != 1 || sum.Requeued != 0 || sum.Failed != 0 {
+		t.Fatalf("recovery summary %+v", sum)
+	}
+	var got JobResult
+	if code := getJSON(t, ts2.URL+"/api/v1/jobs/"+st.ID+"/result", &got); code != http.StatusOK {
+		t.Fatalf("recovered result: HTTP %d", code)
+	}
+	if got.Score != want.Score || len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("recovered result %+v, want %+v", got, want)
+	}
+	for k, v := range want.Pairs {
+		if got.Pairs[k] != v {
+			t.Fatalf("pair %s: recovered %s, want %s", k, got.Pairs[k], v)
+		}
+	}
+}
+
+// TestRecoverRequeuesInterrupted: a journal whose job never got past
+// "running" (a crash signature) must re-run the job to completion on boot.
+func TestRecoverRequeuesInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	seedInterruptedJob(t, dir, 0, nil)
+
+	_, ts, sum := durableServer(t, dir, nil)
+	if sum.Requeued != 1 {
+		t.Fatalf("recovery summary %+v, want 1 requeued", sum)
+	}
+	final := waitTerminal(t, ts, "j1")
+	if final.State != StateDone {
+		t.Fatalf("recovered job ended %s: %s", final.State, final.Error)
+	}
+	var res JobResult
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/j1/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("recovered job produced an empty mapping")
+	}
+	if res.Quality == nil {
+		t.Fatal("recovered job lost its ground truth")
+	}
+}
+
+// TestRecoverSeedsFromCheckpoint: an interrupted job with a journaled
+// checkpoint must finish with a score at least as good as the checkpoint,
+// even when the re-run's own budget is too small to find anything.
+func TestRecoverSeedsFromCheckpoint(t *testing.T) {
+	// First, learn a good mapping by running the workload normally.
+	_, ts0 := testServer(t, nil)
+	_, st0 := submitJSON(t, ts0, fig1Request(t, "heuristic-advanced"))
+	if got := waitTerminal(t, ts0, st0.ID); got.State != StateDone {
+		t.Fatalf("reference job ended %s", got.State)
+	}
+	var ref JobResult
+	getJSON(t, ts0.URL+"/api/v1/jobs/"+st0.ID+"/result", &ref)
+
+	// Now build a crashed journal: the job is mid-run with that mapping as
+	// its checkpoint, and the re-run gets a 1ms budget.
+	dir := t.TempDir()
+	seedInterruptedJob(t, dir, 1, &store.CheckpointRecord{Pairs: ref.Pairs, Score: ref.Score})
+
+	_, ts, sum := durableServer(t, dir, nil)
+	if sum.Requeued != 1 {
+		t.Fatalf("recovery summary %+v", sum)
+	}
+	final := waitTerminal(t, ts, "j1")
+	if final.State != StateDone {
+		t.Fatalf("resumed job ended %s: %s", final.State, final.Error)
+	}
+	var res JobResult
+	getJSON(t, ts.URL+"/api/v1/jobs/j1/result", &res)
+	if res.Score < ref.Score-1e-9 {
+		t.Fatalf("resumed score %v below checkpointed score %v", res.Score, ref.Score)
+	}
+}
+
+// TestRecoverLostArtifactFailsJob: an interrupted job whose log artifacts
+// are gone cannot re-run; it must land in failed (durably), not vanish.
+func TestRecoverLostArtifactFailsJob(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	st, _, err := store.Open(ctx, dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &store.SpecRecord{
+		Algorithm: "heuristic-advanced",
+		Log1:      store.LogRef{Key: "deadbeefdeadbeefdeadbeefdeadbeef", Format: "log"},
+		Log2:      store.LogRef{Key: "feedfacefeedfacefeedfacefeedface", Format: "log"},
+	}
+	if err := st.AppendSubmit(ctx, "j1", spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	_, ts, sum := durableServer(t, dir, nil)
+	if sum.Failed != 1 || sum.Requeued != 0 {
+		t.Fatalf("recovery summary %+v, want 1 failed", sum)
+	}
+	var jst JobStatus
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/j1", &jst); code != http.StatusOK {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if jst.State != StateFailed || jst.Error == "" {
+		t.Fatalf("lost-artifact job: %+v", jst)
+	}
+	// The verdict is journaled: a second replay sees the job as terminal.
+	rec := replayDir(t, dir)
+	if rec.Jobs[0].State != string(StateFailed) {
+		t.Fatalf("second replay state %q, want failed", rec.Jobs[0].State)
+	}
+}
+
+// TestCheckpointsReachJournal: with an aggressive cadence, a running search
+// writes checkpoints that replay as complete mappings.
+func TestCheckpointsReachJournal(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, _ := durableServer(t, dir, func(c *Config) { c.CheckpointEvery = time.Nanosecond })
+	_, st := submitJSON(t, ts, fig1Request(t, "exact"))
+	if got := waitTerminal(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("job ended %s", got.State)
+	}
+	// The checkpoint writer is async; give it a moment to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := replayDir(t, dir)
+		if rec.Jobs[0].Checkpoint != nil {
+			ck := rec.Jobs[0].Checkpoint
+			if len(ck.Pairs) == 0 {
+				t.Fatalf("journaled checkpoint has no pairs: %+v", ck)
+			}
+			if math.IsNaN(ck.Score) {
+				t.Fatalf("journaled checkpoint score NaN")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint reached the journal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// seedInterruptedJob writes a crashed-looking journal into dir: log
+// artifacts, a submit record for job j1 (with the given timeout override)
+// in state running, and optionally a checkpoint.
+func seedInterruptedJob(t *testing.T, dir string, timeoutMS int64, ck *store.CheckpointRecord) {
+	t.Helper()
+	ctx := context.Background()
+	st, _, err := store.Open(ctx, dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	req := fig1Request(t, "heuristic-advanced")
+	k1 := logKey(logio.FormatTraceLines, false, []byte(req.Log1.Data))
+	k2 := logKey(logio.FormatTraceLines, false, []byte(req.Log2.Data))
+	if err := st.PutArtifact(ctx, k1, []byte(req.Log1.Data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutArtifact(ctx, k2, []byte(req.Log2.Data)); err != nil {
+		t.Fatal(err)
+	}
+	spec := &store.SpecRecord{
+		Algorithm: req.Algorithm,
+		Log1:      store.LogRef{Key: k1, Format: logio.FormatTraceLines},
+		Log2:      store.LogRef{Key: k2, Format: logio.FormatTraceLines},
+		Patterns:  req.Patterns,
+		Truth:     req.Truth,
+		TimeoutMS: timeoutMS,
+	}
+	if err := st.AppendSubmit(ctx, "j1", spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendState(ctx, "j1", string(StateRunning), "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if ck != nil {
+		if err := st.AppendCheckpoint(ctx, "j1", ck, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetryAfterColdStart pins the Retry-After estimate before any job has
+// completed: derived from the default deadline but clamped to
+// [minRetryAfter, maxColdRetryAfter] — a cold server must neither tell
+// clients "retry in 0s" nor park them for minutes.
+func TestRetryAfterColdStart(t *testing.T) {
+	cases := []struct {
+		name     string
+		deadline time.Duration
+		want     time.Duration
+	}{
+		{"tiny deadline floors at 1s", 100 * time.Millisecond, minRetryAfter},
+		{"default deadline halves", 30 * time.Second, 15 * time.Second},
+		{"huge deadline caps at 30s", 10 * time.Minute, maxColdRetryAfter},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{DefaultDeadline: tc.deadline})
+			defer s.Shutdown(context.Background()) //nolint:errcheck // always nil
+			if got := s.retryAfter(); got != tc.want {
+				t.Fatalf("cold retryAfter = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterWarmFloor: even with sub-second observed service times the
+// estimate stays at the documented floor.
+func TestRetryAfterWarmFloor(t *testing.T) {
+	s := New(Config{DefaultDeadline: time.Minute})
+	defer s.Shutdown(context.Background()) //nolint:errcheck // always nil
+	s.noteJobDuration(3 * time.Millisecond)
+	if got := s.retryAfter(); got != minRetryAfter {
+		t.Fatalf("warm retryAfter = %v, want floor %v", got, minRetryAfter)
+	}
+	s.ewmaJobNs.Store(int64(7 * time.Second))
+	if got := s.retryAfter(); got != 7*time.Second {
+		t.Fatalf("warm retryAfter = %v, want 7s", got)
+	}
+}
+
+// TestResultErrorsCarryState: the result endpoint's error bodies surface the
+// job state so clients distinguish terminal from not-yet without code games.
+func TestResultErrorsCarryState(t *testing.T) {
+	s, ts := testServer(t, func(c *Config) { c.Workers = 1 })
+	release := make(chan struct{})
+	s.testHookBeforeRun = func(*job) { <-release }
+	defer close(release)
+
+	// Occupy the single worker, then queue a second job and cancel it.
+	_, busy := submitJSON(t, ts, fig1Request(t, "heuristic-advanced"))
+	_, queued := submitJSON(t, ts, fig1Request(t, "heuristic-advanced"))
+
+	var e ErrorResponse
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + busy.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || e.State.Terminal() || e.State == "" {
+		t.Fatalf("non-terminal result error: HTTP %d %+v", resp.StatusCode, e)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+queued.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + queued.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = ErrorResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone || e.State != StateCanceled || e.StopReason != "canceled" {
+		t.Fatalf("canceled result error: HTTP %d %+v", resp.StatusCode, e)
+	}
+}

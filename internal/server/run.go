@@ -24,6 +24,12 @@ func (s *Server) runJob(j *job) {
 	d := time.Since(j.started)
 	s.runTimer.Observe(d)
 	s.noteJobDuration(d)
+	if err == nil {
+		// Result artifact + binding record land before the done transition:
+		// a replay that finds the result can serve it even when the final
+		// state record was lost to a crash.
+		s.persistResult(j, res)
+	}
 	j.finish(res, err)
 	if err != nil {
 		s.failed.Inc()
@@ -71,6 +77,11 @@ func (s *Server) execute(j *job) (*JobResult, error) {
 		Telemetry:     s.reg,
 		Progress:      j.setProgress,
 		ProgressEvery: s.cfg.ProgressEvery,
+		// Durability: periodic best-so-far snapshots to the journal, and the
+		// recovered checkpoint (if any) as a floor on the re-run's result.
+		Checkpoint:      s.checkpointHook(j),
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		Seed:            spec.seed,
 	}
 	var (
 		m  match.Mapping

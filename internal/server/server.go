@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"eventmatch/internal/server/store"
 	"eventmatch/internal/telemetry"
 )
 
@@ -48,6 +50,18 @@ type Config struct {
 	// ProgressEvery is the in-flight progress snapshot interval. Zero
 	// selects the search default (match.DefaultProgressEvery).
 	ProgressEvery time.Duration
+
+	// Store, when non-nil, makes the job lifecycle durable: submissions,
+	// state transitions, periodic search checkpoints and results are
+	// journaled (write-ahead, fsync'd) and uploaded logs are kept as
+	// content-addressed artifacts. Nil runs fully in-memory, as before.
+	// Open the store and pass its Recovery to Recover before serving.
+	Store *store.Store
+
+	// CheckpointEvery is the durable-checkpoint cadence for in-flight
+	// searches. Zero selects match.DefaultCheckpointEvery. Only meaningful
+	// with a Store.
+	CheckpointEvery time.Duration
 
 	// Telemetry receives all server and search metrics. Nil creates a fresh
 	// registry (the daemon always runs instrumented: gauges feed the metrics
@@ -105,11 +119,22 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	draining atomic.Bool
+	draining     atomic.Bool
+	shutdownOnce sync.Once
 
 	// ewmaJobNs is an exponentially weighted moving average of job service
 	// time, feeding the Retry-After estimate on 429.
 	ewmaJobNs atomic.Int64
+
+	// store is the optional durability layer; persistCtx is detached from
+	// cancellation so the shutdown force-cancel never aborts final journal
+	// writes. ckptCh feeds the async checkpoint writer goroutine.
+	store       *store.Store
+	persistCtx  context.Context
+	ckptCh      chan ckptMsg
+	ckptdone    chan struct{}
+	persistErrs *telemetry.Counter
+	ckptDrops   *telemetry.Counter
 
 	submitted, completed, failed, canceled, rejected *telemetry.Counter
 	waitTimer, runTimer                              *telemetry.Timer
@@ -140,6 +165,15 @@ func New(cfg Config) *Server {
 		runTimer:  cfg.Telemetry.Timer("server.job_run"),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.persistCtx = context.WithoutCancel(s.baseCtx)
+		s.persistErrs = cfg.Telemetry.Counter("server.persist_errors")
+		s.ckptDrops = cfg.Telemetry.Counter("server.checkpoints_dropped")
+		s.ckptCh = make(chan ckptMsg, 16)
+		s.ckptdone = make(chan struct{})
+		go s.checkpointWriter()
+	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
 	s.reg.RegisterFunc("server.queue_depth", func() int64 { return int64(s.pool.queued()) })
 	s.reg.RegisterFunc("server.queue_capacity", func() int64 { return int64(cfg.QueueDepth) })
@@ -156,8 +190,10 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// submit admits a validated spec as a new job.
-func (s *Server) submit(spec jobSpec) (*job, error) {
+// submit admits a validated spec as a new job. reqCtx bounds the submission
+// persist (the caller's HTTP request context); job execution itself runs
+// under the server's base context.
+func (s *Server) submit(reqCtx context.Context, spec jobSpec) (*job, error) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
 		spec:    spec,
@@ -167,11 +203,20 @@ func (s *Server) submit(spec jobSpec) (*job, error) {
 		state:   StateQueued,
 	}
 	s.jobs.add(j)
+	// Journal the submission before the job can reach a worker: the 202 the
+	// client is about to receive is then a durable promise. The persist hook
+	// is installed before pool.submit so every later transition is journaled
+	// write-ahead.
+	s.persistSubmit(reqCtx, j)
+	j.persist = s.statePersister(j.id)
 	if err := s.pool.submit(j); err != nil {
 		s.rejected.Inc()
 		cancel()
 		// The job never ran; mark it terminal so the store can evict it.
 		j.mu.Lock()
+		if j.persist != nil {
+			j.persist(StateFailed, err.Error())
+		}
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		j.finished = time.Now()
@@ -182,17 +227,37 @@ func (s *Server) submit(spec jobSpec) (*job, error) {
 	return j, nil
 }
 
+// Retry-After bounds. The floor keeps clients from hot-looping on a
+// saturated server; the cold cap keeps the first estimate (derived from the
+// configured deadline, not from any observation) from parking clients for
+// minutes when the deadline is generous.
+const (
+	// minRetryAfter is the lower bound of every Retry-After estimate.
+	minRetryAfter = time.Second
+	// maxColdRetryAfter caps the estimate while no job has completed yet.
+	maxColdRetryAfter = 30 * time.Second
+)
+
 // retryAfter estimates how long a rejected client should back off: the
-// observed average job service time, floored at 1s. With no completed jobs
-// yet, half the default deadline is the best guess.
+// observed average job service time, floored at minRetryAfter. Before the
+// first job completes there are no EWMA samples, so the estimate falls back
+// to half the default per-job deadline, clamped to
+// [minRetryAfter, maxColdRetryAfter].
 func (s *Server) retryAfter() time.Duration {
 	ns := s.ewmaJobNs.Load()
 	if ns == 0 {
-		return s.cfg.DefaultDeadline / 2
+		d := s.cfg.DefaultDeadline / 2
+		if d < minRetryAfter {
+			d = minRetryAfter
+		}
+		if d > maxColdRetryAfter {
+			d = maxColdRetryAfter
+		}
+		return d
 	}
 	d := time.Duration(ns)
-	if d < time.Second {
-		d = time.Second
+	if d < minRetryAfter {
+		d = minRetryAfter
 	}
 	return d
 }
@@ -218,22 +283,31 @@ func (s *Server) noteJobDuration(d time.Duration) {
 // 503), queued and running jobs are given until ctx expires to finish, then
 // every in-flight search is force-canceled — the anytime contract turns that
 // into truncated best-so-far results, not lost jobs. Returns once all
-// workers have exited. Safe to call once.
+// workers have exited. Idempotent: later calls wait for the first drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	done := make(chan struct{})
-	go func() {
-		s.pool.drain()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		// Deadline passed: force-cancel everything still running. Workers
-		// then finish promptly (anytime checkpoint) and drain completes.
-		s.baseCancel()
-		<-done
-	}
-	s.baseCancel() // release the base context in the clean-drain path too
+	s.shutdownOnce.Do(func() {
+		done := make(chan struct{})
+		go func() {
+			s.pool.drain()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			// Deadline passed: force-cancel everything still running.
+			// Workers then finish promptly (anytime checkpoint) and drain
+			// completes.
+			s.baseCancel()
+			<-done
+		}
+		s.baseCancel() // release the base context in the clean-drain path too
+		if s.ckptCh != nil {
+			// Workers have exited, so nothing sends checkpoints anymore;
+			// drain the writer before the caller closes the store.
+			close(s.ckptCh)
+			<-s.ckptdone
+		}
+	})
 	return nil
 }

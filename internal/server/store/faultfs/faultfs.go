@@ -1,0 +1,256 @@
+// Package faultfs wraps a store.FS with deterministic fault injection so
+// crash-recovery paths can be exercised without real crashes: fail every
+// write after a threshold, "crash" after N bytes have been written (partial
+// write, then every operation fails), fail or slow down fsync.
+//
+// The zero Config injects nothing; the wrapper is then a transparent
+// pass-through, which keeps fault tests honest — the same code path runs
+// with and without faults.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"eventmatch/internal/server/store"
+)
+
+// ErrInjected is the error returned by write faults.
+var ErrInjected = errors.New("faultfs: injected write failure")
+
+// ErrCrashed is returned by every operation once the crash threshold has
+// been crossed — the process-is-gone simulation.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// ErrSyncFailed is the error returned by injected fsync failures.
+var ErrSyncFailed = errors.New("faultfs: injected fsync failure")
+
+// FS wraps an inner store.FS with configurable faults. Safe for concurrent
+// use (the store serializes journal writes, but artifact writes may race).
+type FS struct {
+	inner store.FS
+
+	mu sync.Mutex
+	// failWritesAfter: once this many Write calls have succeeded, every
+	// further Write returns ErrInjected. Negative = disabled.
+	failWritesAfter int
+	writes          int
+	// crashAfterBytes: once this many bytes have been written in total, the
+	// write that crosses the threshold is truncated (partial write, reported
+	// as full) and every later operation returns ErrCrashed — simulating
+	// kill -9 mid-append. Negative = disabled.
+	crashAfterBytes int
+	written         int
+	crashed         bool
+	// failSync / slowSyncs: fsync behavior.
+	failSync  bool
+	slowSyncs chan struct{} // each Sync blocks until a token is received
+}
+
+// New wraps inner with no faults armed.
+func New(inner store.FS) *FS {
+	return &FS{inner: inner, failWritesAfter: -1, crashAfterBytes: -1}
+}
+
+// FailWritesAfter arms the error-on-write fault: the next n Write calls
+// succeed, all later ones fail with ErrInjected.
+func (f *FS) FailWritesAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWritesAfter = n
+	f.writes = 0
+}
+
+// CrashAfterBytes arms the crash fault: after n total bytes written, the
+// crossing write is torn short and the filesystem "dies" (ErrCrashed).
+func (f *FS) CrashAfterBytes(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfterBytes = n
+	f.written = 0
+	f.crashed = false
+}
+
+// FailSync makes every Sync return ErrSyncFailed until disarmed.
+func (f *FS) FailSync(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failSync = on
+}
+
+// SlowSync makes every Sync block until ReleaseSync is called. Disarm by
+// calling SlowSync(false), which also unblocks all waiters.
+func (f *FS) SlowSync(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if on {
+		f.slowSyncs = make(chan struct{})
+	} else if f.slowSyncs != nil {
+		close(f.slowSyncs)
+		f.slowSyncs = nil
+	}
+}
+
+// ReleaseSync lets exactly one blocked Sync proceed.
+func (f *FS) ReleaseSync() {
+	f.mu.Lock()
+	ch := f.slowSyncs
+	f.mu.Unlock()
+	if ch != nil {
+		ch <- struct{}{}
+	}
+}
+
+// Crashed reports whether the crash fault has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FS) dead() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// write applies the write-path faults to a buffer of len n, returning how
+// many bytes the inner FS should actually persist and the error to report.
+func (f *FS) write(n int) (keep int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.failWritesAfter >= 0 {
+		if f.writes >= f.failWritesAfter {
+			return 0, ErrInjected
+		}
+		f.writes++
+	}
+	if f.crashAfterBytes >= 0 && f.written+n > f.crashAfterBytes {
+		keep = f.crashAfterBytes - f.written
+		if keep < 0 {
+			keep = 0
+		}
+		f.written += keep
+		f.crashed = true
+		// The torn bytes land on disk; the writer never hears back — from
+		// its point of view the process just died.
+		return keep, ErrCrashed
+	}
+	f.written += n
+	return n, nil
+}
+
+func (f *FS) sync() error {
+	f.mu.Lock()
+	crashed, fail, ch := f.crashed, f.failSync, f.slowSyncs
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if ch != nil {
+		<-ch // parked until ReleaseSync or SlowSync(false)
+	}
+	if fail {
+		return ErrSyncFailed
+	}
+	return nil
+}
+
+// MkdirAll implements store.FS.
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// OpenAppend implements store.FS.
+func (f *FS) OpenAppend(path string) (store.File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// Create implements store.FS.
+func (f *FS) Create(path string) (store.File, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// ReadFile implements store.FS.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Stat implements store.FS.
+func (f *FS) Stat(path string) (fs.FileInfo, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(path)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(path string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// file is a store.File that routes writes and syncs through the fault state.
+type file struct {
+	fs    *FS
+	inner store.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	keep, err := w.fs.write(len(p))
+	if keep > 0 {
+		if _, werr := w.inner.Write(p[:keep]); werr != nil && err == nil {
+			return 0, werr
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (w *file) Sync() error {
+	if err := w.fs.sync(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error { return w.inner.Close() }

@@ -1,0 +1,173 @@
+package faultfs_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"eventmatch/internal/server/store"
+	"eventmatch/internal/server/store/faultfs"
+)
+
+func spec() *store.SpecRecord {
+	return &store.SpecRecord{
+		Algorithm: "greedy",
+		Log1:      store.LogRef{Key: strings.Repeat("a", 64), Format: "log"},
+		Log2:      store.LogRef{Key: strings.Repeat("b", 64), Format: "log"},
+	}
+}
+
+func TestPassThroughWhenUnarmed(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	ffs := faultfs.New(store.OSFS{})
+	s, _, err := store.Open(ctx, dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(ctx, "j1", spec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutArtifact(ctx, strings.Repeat("c", 64), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, rec, err := store.Open(ctx, dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec.Jobs) != 1 || rec.Torn != 0 {
+		t.Fatalf("recovered %+v", rec)
+	}
+}
+
+func TestFailWritesAfter(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	ffs := faultfs.New(store.OSFS{})
+	s, _, err := store.Open(ctx, dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendSubmit(ctx, "j1", spec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWritesAfter(0)
+	if err := s.AppendSubmit(ctx, "j2", spec(), 0); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append under write fault: %v, want ErrInjected", err)
+	}
+	// Disarm: the store must keep working after a transient write failure.
+	ffs.FailWritesAfter(-1)
+	if err := s.AppendSubmit(ctx, "j3", spec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, rec, err := store.Open(ctx, dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 2 || rec.Jobs[0].ID != "j1" || rec.Jobs[1].ID != "j3" {
+		t.Fatalf("recovered %d jobs (want j1, j3): %+v", len(rec.Jobs), rec.Jobs)
+	}
+}
+
+func TestCrashAfterBytesTearsJournal(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	ffs := faultfs.New(store.OSFS{})
+	s, _, err := store.Open(ctx, dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.AppendSubmit(ctx, "j1", spec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendState(ctx, "j1", "running", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The next append dies 10 bytes in: a torn record lands on disk and the
+	// "process" is gone.
+	ffs.CrashAfterBytes(10)
+	if err := s.AppendState(ctx, "j1", "done", "", 0); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append across crash point: %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("fs did not record the crash")
+	}
+	if err := s.AppendSubmit(ctx, "j2", spec(), 0); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("append after crash: %v, want ErrCrashed", err)
+	}
+
+	// Reboot: replay must drop exactly the torn record and keep the prefix.
+	s2, rec, err := store.Open(ctx, dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Torn != 1 {
+		t.Fatalf("torn = %d, want 1", rec.Torn)
+	}
+	if len(rec.Jobs) != 1 || rec.Jobs[0].State != "running" {
+		t.Fatalf("recovered %+v, want j1@running", rec.Jobs)
+	}
+	// And the journal is append-clean again: new records go through.
+	if err := s2.AppendState(ctx, "j1", "done", "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailSync(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	ffs := faultfs.New(store.OSFS{})
+	s, _, err := store.Open(ctx, dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ffs.FailSync(true)
+	if err := s.AppendSubmit(ctx, "j1", spec(), 0); !errors.Is(err, faultfs.ErrSyncFailed) {
+		t.Fatalf("append under sync fault: %v, want ErrSyncFailed", err)
+	}
+	if err := s.PutArtifact(ctx, strings.Repeat("d", 64), []byte("x")); !errors.Is(err, faultfs.ErrSyncFailed) {
+		t.Fatalf("artifact under sync fault: %v, want ErrSyncFailed", err)
+	}
+	ffs.FailSync(false)
+	if err := s.AppendSubmit(ctx, "j2", spec(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowSyncBlocksAppend(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	ffs := faultfs.New(store.OSFS{})
+	s, _, err := store.Open(ctx, dir, store.Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ffs.SlowSync(true)
+	done := make(chan error, 1)
+	go func() { done <- s.AppendSubmit(ctx, "j1", spec(), 0) }()
+	select {
+	case err := <-done:
+		t.Fatalf("append finished under slow-sync: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ffs.ReleaseSync()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append still blocked after ReleaseSync")
+	}
+	ffs.SlowSync(false)
+}

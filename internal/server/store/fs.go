@@ -1,0 +1,68 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the store writes through. It is an interface
+// so crash-recovery tests can inject failures deterministically (see the
+// faultfs subpackage) without touching the store's logic: error-on-write,
+// crash-after-N-bytes and slow-sync all live behind these seven methods.
+type FS interface {
+	// MkdirAll creates a directory tree (os.MkdirAll semantics).
+	MkdirAll(path string, perm fs.FileMode) error
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Create truncates/creates path for writing.
+	Create(path string) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (os.Rename semantics).
+	Rename(oldpath, newpath string) error
+	// Stat describes path.
+	Stat(path string) (fs.FileInfo, error)
+	// Remove deletes path (best-effort temp cleanup).
+	Remove(path string) error
+}
+
+// File is the writable handle the store needs: sequential writes, durability
+// via Sync, and Close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS: a thin veneer over the os package.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// tmpName returns the temp-file path used for atomic artifact writes.
+func tmpName(path string) string {
+	return filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+}

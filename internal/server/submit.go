@@ -191,12 +191,13 @@ func (s *Server) buildSpec(req SubmitRequest) (jobSpec, error) {
 	}
 	spec.algorithm, spec.algoName = algo, algoName
 
-	if spec.l1, spec.rep1, spec.h1, err = s.ingest("log1", req.Log1, req.Lenient); err != nil {
+	if spec.l1, spec.rep1, spec.h1, spec.fmt1, err = s.ingest("log1", req.Log1, req.Lenient); err != nil {
 		return spec, err
 	}
-	if spec.l2, spec.rep2, spec.h2, err = s.ingest("log2", req.Log2, req.Lenient); err != nil {
+	if spec.l2, spec.rep2, spec.h2, spec.fmt2, err = s.ingest("log2", req.Log2, req.Lenient); err != nil {
 		return spec, err
 	}
+	spec.lenient = req.Lenient
 
 	spec.patterns = req.Patterns
 	usesPatterns := algo != eventmatch.AlgoVertex && algo != eventmatch.AlgoVertexEdge &&
@@ -211,6 +212,7 @@ func (s *Server) buildSpec(req SubmitRequest) (jobSpec, error) {
 		if spec.truth, err = resolveTruth(req.Truth, spec.l1, spec.l2); err != nil {
 			return spec, err
 		}
+		spec.truthNames = req.Truth
 	}
 
 	spec.timeout = s.cfg.DefaultDeadline
@@ -235,10 +237,13 @@ func (s *Server) buildSpec(req SubmitRequest) (jobSpec, error) {
 	return spec, nil
 }
 
-// ingest parses one submitted log through the content-hash cache.
-func (s *Server) ingest(name string, p LogPayload, lenient bool) (*event.Log, logio.ReadReport, string, error) {
+// ingest parses one submitted log through the content-hash cache and, when a
+// durable store is configured, persists the raw bytes as a content-addressed
+// artifact so the job can be re-run after a crash. It returns the parsed
+// log, the read report, the content key and the resolved format.
+func (s *Server) ingest(name string, p LogPayload, lenient bool) (*event.Log, logio.ReadReport, string, string, error) {
 	if p.Data == "" {
-		return nil, logio.ReadReport{}, "", fmt.Errorf("%s: empty log", name)
+		return nil, logio.ReadReport{}, "", "", fmt.Errorf("%s: empty log", name)
 	}
 	format := p.Format
 	if format == "" {
@@ -247,7 +252,7 @@ func (s *Server) ingest(name string, p LogPayload, lenient bool) (*event.Log, lo
 	switch format {
 	case logio.FormatTraceLines, logio.FormatCSV, logio.FormatXES:
 	default:
-		return nil, logio.ReadReport{}, "", fmt.Errorf("%s: unknown format %q", name, format)
+		return nil, logio.ReadReport{}, "", "", fmt.Errorf("%s: unknown format %q", name, format)
 	}
 	key := logKey(format, lenient, []byte(p.Data))
 	l, rep, err := s.logs.get(key, format, []byte(p.Data), logio.ReadOptions{
@@ -256,12 +261,13 @@ func (s *Server) ingest(name string, p LogPayload, lenient bool) (*event.Log, lo
 		Telemetry:   s.reg,
 	})
 	if err != nil {
-		return nil, rep, "", fmt.Errorf("%s: %w", name, err)
+		return nil, rep, "", "", fmt.Errorf("%s: %w", name, err)
 	}
 	if l.NumEvents() == 0 {
-		return nil, rep, "", fmt.Errorf("%s: no events after parsing", name)
+		return nil, rep, "", "", fmt.Errorf("%s: no events after parsing", name)
 	}
-	return l, rep, key, nil
+	s.persistLogArtifact(key, []byte(p.Data))
+	return l, rep, key, format, nil
 }
 
 // resolveTruth maps a name-level ground truth onto event ids. Unknown names
