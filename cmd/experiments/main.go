@@ -21,10 +21,13 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset of experiments to run (default: all)")
+	only := flag.String("only", "", "comma-separated subset of experiments to run (default: all; 'benchfreq' runs only when named)")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	seed := flag.Int64("seed", 7, "workload seed")
 	budget := flag.Duration("budget", 60*time.Second, "per-run budget for exact approaches")
+	benchOut := flag.String("bench-out", "", "benchfreq: write the measured BENCH_freq.json document to this path")
+	benchGate := flag.String("bench-gate", "", "benchfreq: fail if allocs/op regressed >20% vs this committed BENCH_freq.json")
+	benchReps := flag.Int("bench-reps", 0, "benchfreq: timed repetitions per point (0 = default)")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, ExactBudget: *budget}
@@ -42,10 +45,57 @@ func main() {
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
 
+	// The bench rig runs only when named explicitly: it is a measurement
+	// tool with file side effects, not part of the paper's table/figure set.
+	if want["benchfreq"] {
+		if err := runBenchFreq(*benchOut, *benchGate, *benchReps); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		delete(want, "benchfreq")
+		if len(want) == 0 {
+			return
+		}
+	}
+
 	if err := run(cfg, selected); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// runBenchFreq measures the dense frequency kernel on the pinned workload
+// (see internal/experiments/benchfreq.go), optionally gates allocs/op
+// against a committed BENCH_freq.json, and optionally writes the fresh
+// document.
+func runBenchFreq(outPath, gatePath string, reps int) error {
+	doc, err := experiments.RunBenchFreq(experiments.BenchFreqOptions{Reps: reps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchfreq: %s\n  workload: %s\n", doc.Benchmark, doc.Workload)
+	fmt.Printf("  baseline %-48s %12d ns/op %8d allocs/op\n", doc.Baseline.Path, doc.Baseline.NsPerOp, doc.Baseline.AllocsPerOp)
+	for _, pt := range doc.Points {
+		fmt.Printf("  dense    workers=%-2d %37s %12d ns/op %8d allocs/op  %.2fx vs 1w  %.2fx vs baseline\n",
+			pt.Workers, "", pt.NsPerOp, pt.AllocsPerOp, pt.SpeedupVs1W, pt.SpeedupVsBaseline)
+	}
+	if gatePath != "" {
+		committed, err := experiments.ReadBenchFreq(gatePath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.GateBenchFreq(committed, doc); err != nil {
+			return err
+		}
+		fmt.Printf("  gate: ok (allocs/op within 20%% of %s)\n", gatePath)
+	}
+	if outPath != "" {
+		if err := experiments.WriteBenchFreq(outPath, doc); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	return nil
 }
 
 func run(cfg experiments.Config, selected func(string) bool) error {

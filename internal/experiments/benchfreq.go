@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"eventmatch/internal/gen"
+	"eventmatch/internal/pattern"
+)
+
+// The frequency bench rig: a fixed-workload, reproducible measurement of
+// the dense-ID frequency kernel, recorded as BENCH_freq.json so every PR
+// extends one comparable trajectory. See EXPERIMENTS.md ("Frequency-kernel
+// benchmark methodology") for how the numbers are taken and PERFORMANCE.md
+// for how to read them.
+//
+// The workload is pinned — gen.LargeSynthetic(107, 5, 6000), the same
+// Fig. 12-scale instance the Go benchmarks use — and the rig measures one
+// op = one uncached frequency evaluation of the full pattern set. Two
+// implementations are timed:
+//
+//   - the baseline row: the pre-dense-kernel reference path (map-backed
+//     event membership + sorted-posting-list candidate merge), preserved
+//     in pattern.ReferencePattern;
+//   - the points: the dense bitset kernel behind pattern.Engine, at 1, 2,
+//     4 and 8 workers.
+//
+// Before any timing, the rig verifies that all paths agree bit-for-bit on
+// every pattern frequency; a mismatch aborts the run.
+
+// benchFreqSeed / benchFreqBlocks / benchFreqTraces pin the rig workload.
+// Changing any of these breaks comparability with every committed
+// BENCH_freq.json point; bump the Workload string if you must.
+const (
+	benchFreqSeed   = 107
+	benchFreqBlocks = 5
+	benchFreqTraces = 6000
+)
+
+// benchFreqWorkers is the worker-count axis, matching benchWorkers in the
+// Go benchmarks.
+var benchFreqWorkers = []int{1, 2, 4, 8}
+
+// BenchFreqOptions tunes measurement effort, not the workload.
+type BenchFreqOptions struct {
+	// Reps is the number of timed repetitions per point; the fastest rep is
+	// reported (best-of-N rejects scheduler noise, which only ever slows a
+	// run down). 0 selects 3.
+	Reps int
+	// OpsPerRep is the number of full pattern-set evaluations averaged
+	// inside one repetition. 0 selects 3.
+	OpsPerRep int
+}
+
+// BenchFreqPoint is one measured configuration.
+type BenchFreqPoint struct {
+	Workers           int     `json:"workers"`
+	NsPerOp           int64   `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	SpeedupVs1W       float64 `json:"speedup_vs_1w"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline"`
+}
+
+// BenchFreqBaseline is the reference-path row the points are compared to.
+type BenchFreqBaseline struct {
+	Path        string `json:"path"`
+	Workers     int    `json:"workers"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// BenchFreq is the BENCH_freq.json document.
+type BenchFreq struct {
+	Benchmark  string            `json:"benchmark"`
+	Workload   string            `json:"workload"`
+	Go         string            `json:"go"`
+	Gomaxprocs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
+	Reps       int               `json:"reps"`
+	OpsPerRep  int               `json:"ops_per_rep"`
+	Baseline   BenchFreqBaseline `json:"baseline"`
+	Points     []BenchFreqPoint  `json:"points"`
+	Note       string            `json:"note"`
+}
+
+// benchMeasure times reps repetitions of ops calls to op (after one
+// unmeasured warmup call) and reports the fastest repetition's ns/op along
+// with its Mallocs-delta allocs/op.
+func benchMeasure(reps, ops int, op func()) (nsPerOp, allocsPerOp int64) {
+	op() // warmup: faults pages, fills pools and caches outside the timing
+	best := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			op()
+		}
+		ns := time.Since(start).Nanoseconds() / int64(ops)
+		runtime.ReadMemStats(&m1)
+		if ns < best {
+			best = ns
+			allocsPerOp = int64(m1.Mallocs-m0.Mallocs) / int64(ops)
+		}
+	}
+	return best, allocsPerOp
+}
+
+// RunBenchFreq measures the frequency kernel on the pinned workload and
+// returns the BENCH_freq.json document. It verifies bit-identical
+// frequencies across the reference path and every worker count before
+// timing anything.
+func RunBenchFreq(opts BenchFreqOptions) (*BenchFreq, error) {
+	reps, ops := opts.Reps, opts.OpsPerRep
+	if reps <= 0 {
+		reps = 3
+	}
+	if ops <= 0 {
+		ops = 3
+	}
+
+	g := gen.LargeSynthetic(benchFreqSeed, benchFreqBlocks, benchFreqTraces)
+	ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+	for _, src := range g.Patterns {
+		p, err := pattern.ParseBind(src, g.L1.Alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("benchfreq: pattern %q: %w", src, err)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("benchfreq: workload has no patterns")
+	}
+	ix := pattern.NewTraceIndex(g.L1)
+	refs := make([]*pattern.ReferencePattern, len(ps))
+	for i, p := range ps {
+		refs[i] = pattern.NewReferencePattern(p)
+	}
+
+	// Correctness first: the reference path and the dense kernel at every
+	// worker count must agree on every frequency, bit for bit.
+	want := make([]float64, len(ps))
+	for i, r := range refs {
+		want[i] = ix.FrequencyReference(r)
+	}
+	for _, w := range benchFreqWorkers {
+		eng := pattern.NewEngine(ix, w)
+		for i, p := range ps {
+			if got := eng.Frequency(p); got != want[i] {
+				return nil, fmt.Errorf("benchfreq: frequency mismatch at workers=%d pattern %d: dense %v != reference %v",
+					w, i, got, want[i])
+			}
+		}
+	}
+
+	doc := &BenchFreq{
+		Benchmark: "FrequencyEngine dense kernel (uncached full pattern-set evaluation)",
+		Workload: fmt.Sprintf("gen.LargeSynthetic(%d, %d, %d): %d events, %d traces, %d complex patterns",
+			benchFreqSeed, benchFreqBlocks, benchFreqTraces,
+			g.L1.NumEvents(), g.L1.NumTraces(), len(ps)),
+		Go:         runtime.Version(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+		OpsPerRep:  ops,
+		Note: "baseline is the pre-bitset reference path (map membership + posting-list merge) at 1 worker; " +
+			"speedup_vs_1w is bounded by num_cpu — on a single-core machine parallel points can only show " +
+			"overhead-neutrality (~1x); rerun on a multi-core machine to observe scaling. " +
+			"Frequencies are verified bit-identical across all paths before timing.",
+	}
+
+	ns, allocs := benchMeasure(reps, ops, func() {
+		for _, r := range refs {
+			ix.FrequencyReference(r)
+		}
+	})
+	doc.Baseline = BenchFreqBaseline{
+		Path:        "reference (map membership + posting-list merge)",
+		Workers:     1,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+	}
+
+	var ns1w int64
+	for _, w := range benchFreqWorkers {
+		eng := pattern.NewEngine(ix, w)
+		ns, allocs := benchMeasure(reps, ops, func() {
+			for _, p := range ps {
+				eng.Frequency(p)
+			}
+		})
+		if w == 1 {
+			ns1w = ns
+		}
+		doc.Points = append(doc.Points, BenchFreqPoint{
+			Workers:           w,
+			NsPerOp:           ns,
+			AllocsPerOp:       allocs,
+			SpeedupVs1W:       float64(ns1w) / float64(ns),
+			SpeedupVsBaseline: float64(doc.Baseline.NsPerOp) / float64(ns),
+		})
+	}
+	return doc, nil
+}
+
+// WriteBenchFreq writes the document as indented JSON.
+func WriteBenchFreq(path string, doc *BenchFreq) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchFreq parses a committed BENCH_freq.json.
+func ReadBenchFreq(path string) (*BenchFreq, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchFreq
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("benchfreq: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// benchFreqAllocSlack is the allowed allocs/op growth of the dense kernel
+// at 1 worker relative to the committed baseline file before GateBenchFreq
+// fails: 20%, per the CI regression policy (ns/op is too noisy to gate on
+// shared runners; allocation counts are deterministic).
+const benchFreqAllocSlack = 1.20
+
+// GateBenchFreq compares a fresh measurement against the committed
+// BENCH_freq.json and returns an error if the dense kernel's 1-worker
+// allocs/op regressed by more than the slack factor.
+func GateBenchFreq(committed, cur *BenchFreq) error {
+	var base, now *BenchFreqPoint
+	for i := range committed.Points {
+		if committed.Points[i].Workers == 1 {
+			base = &committed.Points[i]
+		}
+	}
+	for i := range cur.Points {
+		if cur.Points[i].Workers == 1 {
+			now = &cur.Points[i]
+		}
+	}
+	if base == nil || now == nil {
+		return fmt.Errorf("benchfreq gate: missing 1-worker point (committed %v, current %v)", base != nil, now != nil)
+	}
+	limit := int64(float64(base.AllocsPerOp) * benchFreqAllocSlack)
+	if now.AllocsPerOp > limit {
+		return fmt.Errorf("benchfreq gate: frequency-engine allocs/op regressed: %d > %d (committed %d + 20%% slack)",
+			now.AllocsPerOp, limit, base.AllocsPerOp)
+	}
+	return nil
+}

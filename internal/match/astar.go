@@ -206,6 +206,10 @@ func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTe
 
 	for q.Len() > 0 {
 		cur := heap.Pop(q).(*node)
+		// The node popped one iteration ago is now referenced by nothing —
+		// its children copied its state, the checkpoint base moves to cur —
+		// so its backing arrays go back to the pool.
+		pr.nodes.put(ckptCur)
 		ckptCur = cur
 		if cur.depth == depthGoal {
 			assertInjective("astar goal", cur.m)
@@ -280,7 +284,7 @@ func (pr *Problem) astarSearch(ctx context.Context, opts Options, tele *searchTe
 		if opts.MaxFrontier > 0 && q.Len() > opts.MaxFrontier {
 			tele.pruneEvents.Inc()
 			tele.pruneDropped.Add(int64(q.Len() - opts.MaxFrontier))
-			pruneFrontier(q, opts.MaxFrontier)
+			pruneFrontier(q, opts.MaxFrontier, &pr.nodes)
 			pruned = true
 		}
 	}
@@ -303,14 +307,17 @@ func (pr *Problem) truncateAStar(q *nodeHeap, opts Options, st *Stats, reason st
 	return pr.stripArtificial(m), *st, nil
 }
 
-// pruneFrontier beam-prunes the open list down to its best max nodes by g+h.
-func pruneFrontier(q *nodeHeap, max int) {
+// pruneFrontier beam-prunes the open list down to its best max nodes by
+// g+h, recycling the dropped tail into the node pool (dropped nodes are
+// referenced only by the heap, so their backing arrays are free to reuse).
+func pruneFrontier(q *nodeHeap, max int, pool *nodePool) {
 	nodes := *q
 	sort.Slice(nodes, func(i, j int) bool {
 		return nodes[i].g+nodes[i].h > nodes[j].g+nodes[j].h
 	})
 	for i := max; i < len(nodes); i++ {
-		nodes[i] = nil // release the dropped tail's mappings
+		pool.put(nodes[i])
+		nodes[i] = nil
 	}
 	*q = nodes[:max]
 	heap.Init(q)
@@ -365,13 +372,15 @@ func (pr *Problem) expandEvent(depth int, opts Options) event.ID {
 // expand creates the child of cur obtained by appending a→b, computing g
 // incrementally from the newly completed patterns (§3.2) and h from the
 // selected bound. tele may carry all-nil handles (telemetry disabled).
+// Children are drawn from the problem's node pool — their mapping and
+// used-target arrays are recycled allocations, fully overwritten here.
 func (pr *Problem) expand(cur *node, a, b event.ID, bound BoundKind, tele *searchTelemetry) *node {
-	child := &node{
-		m:     cur.m.Clone(),
-		used:  append([]bool(nil), cur.used...),
-		depth: cur.depth + 1,
-		g:     cur.g,
-	}
+	child := pr.nodes.get()
+	child.m = append(child.m[:0], cur.m...)
+	child.used = append(child.used[:0], cur.used...)
+	child.depth = cur.depth + 1
+	child.g = cur.g
+	child.h = 0
 	child.m[a] = b
 	child.used[b] = true
 	for _, piIdx := range pr.pix.NewlyCompleted(a, func(v event.ID) bool { return child.m[v] != event.None && v != a }) {

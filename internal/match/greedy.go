@@ -74,14 +74,22 @@ func (pr *Problem) greedyExpand(ctx context.Context, opts Options, tele *searchT
 			tele.greedyGenerated.Inc()
 			child := pr.expand(cur, a, event.ID(b), opts.Bound, tele)
 			if best == nil || child.g+child.h > best.g+best.h {
+				// The displaced best is referenced by nothing; recycle it.
+				pr.nodes.put(best)
 				best = child
+			} else {
+				pr.nodes.put(child)
 			}
 		}
 		if best == nil {
 			st.Elapsed = time.Since(start)
 			return nil, st, errors.New("match: no unmapped target event left")
 		}
+		// cur's state was copied into every child, and the checkpoint base
+		// moves to best — the committed node can be recycled.
+		prev := cur
 		cur = best
+		pr.nodes.put(prev)
 	}
 	st.Elapsed = time.Since(start)
 	st.Score = cur.g

@@ -1,0 +1,42 @@
+package match
+
+import "sync"
+
+// nodePool recycles A* / greedy search-tree nodes together with their
+// mapping and used-target backing arrays. Deep searches churn through
+// millions of nodes — every expansion clones a Mapping and a []bool — and
+// beam pruning discards most of them almost immediately, so recycling the
+// backing arrays removes the dominant GC pressure of the search.
+//
+// Recycling discipline (the invariants that make reuse safe):
+//
+//   - expand copies the parent's state into the child; nodes never share
+//     backing arrays, so a node is exclusively owned by whoever holds it.
+//   - A node may be recycled only once nothing references it: beam-prune
+//     dropped tails, the previously popped node after the next pop replaces
+//     it as the checkpoint base, and greedy's losing candidates.
+//   - Goal / result nodes are never recycled — their mapping escapes to the
+//     caller via stripArtificial, which works in place.
+//
+// The pool is a sync.Pool, so parallel expandBatch workers can draw from it
+// concurrently and memory is reclaimed under GC pressure rather than pinned.
+type nodePool struct {
+	p sync.Pool
+}
+
+// get returns a recycled node (fields stale — the caller overwrites all of
+// them) or a fresh zero node.
+func (np *nodePool) get() *node {
+	if nd, ok := np.p.Get().(*node); ok {
+		return nd
+	}
+	return &node{}
+}
+
+// put recycles nd. The caller must guarantee nothing references nd, nd.m or
+// nd.used anymore.
+func (np *nodePool) put(nd *node) {
+	if nd != nil {
+		np.p.Put(nd)
+	}
+}

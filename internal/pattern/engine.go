@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"eventmatch/internal/event"
 	"eventmatch/internal/telemetry"
 )
 
@@ -35,10 +36,56 @@ const (
 // An Engine is safe for concurrent use. The worker count may be changed at
 // any time with SetWorkers; 1 forces fully sequential evaluation (no
 // goroutines are spawned at all).
+//
+// Candidate computation is allocation-free in steady state: each evaluation
+// draws a scanScratch from a sync.Pool, ANDs the pattern's event bitsets
+// into its word buffer, and walks the set bits into its candidate buffer.
+// When the intersection is empty the trace scan is skipped entirely — the
+// index-only fast path — and the pattern.index_skips counter records it.
 type Engine struct {
 	ix      *TraceIndex
 	workers atomic.Int32
 	tele    atomic.Pointer[engineTelemetry]
+	scratch sync.Pool // *scanScratch
+}
+
+// scanScratch holds the per-evaluation reusable buffers: the bitset word
+// buffer the ∩It(v) intersection is ANDed into, and the candidate trace-id
+// slice the set bits are decoded into. Pooled so that steady-state frequency
+// evaluation allocates nothing.
+type scanScratch struct {
+	words []uint64
+	cand  []int32
+}
+
+func (e *Engine) getScratch() *scanScratch {
+	if sc, ok := e.scratch.Get().(*scanScratch); ok {
+		return sc
+	}
+	return &scanScratch{}
+}
+
+func (e *Engine) putScratch(sc *scanScratch) { e.scratch.Put(sc) }
+
+// candidates computes the sorted candidate trace list ∩It(v) for the given
+// events into sc's reusable buffers. The returned slice aliases sc.cand and
+// is only valid until sc is reused or returned to the pool. An empty
+// intersection returns nil without decoding any trace index.
+func (e *Engine) candidates(sc *scanScratch, events []event.ID) []int32 {
+	nw := e.ix.nw
+	if cap(sc.words) < nw {
+		sc.words = make([]uint64, nw)
+	}
+	sc.words = sc.words[:nw]
+	n := e.ix.intersectInto(sc.words, events)
+	if n == 0 {
+		return nil
+	}
+	if cap(sc.cand) < n {
+		sc.cand = make([]int32, 0, n)
+	}
+	sc.cand = appendSetBits(sc.cand[:0], sc.words)
+	return sc.cand
 }
 
 // engineTelemetry holds the engine's pre-resolved metric handles. The
@@ -50,6 +97,7 @@ type engineTelemetry struct {
 	parallelScans *telemetry.Counter // engine.parallel_scans: scans that sharded across workers
 	traces        *telemetry.Counter // engine.traces_scanned: candidate traces examined
 	matches       *telemetry.Counter // engine.trace_matches: candidate traces that matched
+	indexSkips    *telemetry.Counter // pattern.index_skips: evaluations resolved index-only (empty ∩It)
 	imbalance     *telemetry.Counter // engine.shard_imbalance_traces: Σ (largest − smallest shard)
 	queueWait     *telemetry.Timer   // engine.queue_wait: batch-worker startup-to-first-task latency
 	scanTime      *telemetry.Timer   // engine.scan_time: per-scan wall clock
@@ -77,6 +125,7 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry) {
 		parallelScans: reg.Counter("engine.parallel_scans"),
 		traces:        reg.Counter("engine.traces_scanned"),
 		matches:       reg.Counter("engine.trace_matches"),
+		indexSkips:    reg.Counter("pattern.index_skips"),
 		imbalance:     reg.Counter("engine.shard_imbalance_traces"),
 		queueWait:     reg.Timer("engine.queue_wait"),
 		scanTime:      reg.Timer("engine.scan_time"),
@@ -126,7 +175,9 @@ func (e *Engine) FrequencyContext(ctx context.Context, p *Pattern) (float64, err
 	if total == 0 {
 		return 0, ctx.Err()
 	}
-	n, err := e.countMatches(ctx, p, e.ix.Candidates(p.Events()))
+	sc := e.getScratch()
+	n, err := e.countMatches(ctx, p, e.candidates(sc, p.Events()))
+	e.putScratch(sc)
 	if err != nil {
 		return 0, err
 	}
@@ -145,8 +196,10 @@ func (e *Engine) Frequencies(ctx context.Context, ps []*Pattern) ([]float64, err
 		w = len(ps)
 	}
 	if w <= 1 {
+		sc := e.getScratch()
+		defer e.putScratch(sc)
 		for i, p := range ps {
-			n, err := e.countRange(ctx, p, e.ix.Candidates(p.Events()), nil)
+			n, err := e.countPattern(ctx, p, sc, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -166,6 +219,8 @@ func (e *Engine) Frequencies(ctx context.Context, ps []*Pattern) ([]float64, err
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			sc := e.getScratch()
+			defer e.putScratch(sc)
 			first := true
 			for {
 				i := int(next.Add(1)) - 1
@@ -180,7 +235,7 @@ func (e *Engine) Frequencies(ctx context.Context, ps []*Pattern) ([]float64, err
 						tele.queueWait.Observe(time.Since(enqueued))
 					}
 				}
-				n, err := e.countRange(ctx, ps[i], e.ix.Candidates(ps[i].Events()), &canceled)
+				n, err := e.countPattern(ctx, ps[i], sc, &canceled)
 				if err != nil {
 					errs[g] = err
 					canceled.Store(true)
@@ -206,8 +261,25 @@ func (e *Engine) normalize(count int) float64 {
 	return 0
 }
 
+// countPattern evaluates one pattern's match count using sc's reusable
+// buffers, staying sequential (the batch paths parallelize across patterns
+// instead). An empty candidate intersection is resolved index-only and
+// recorded as pattern.index_skips.
+func (e *Engine) countPattern(ctx context.Context, p *Pattern, sc *scanScratch, canceled *atomic.Bool) (int, error) {
+	cand := e.candidates(sc, p.Events())
+	if len(cand) == 0 {
+		if tele := e.tele.Load(); tele != nil {
+			tele.indexSkips.Inc()
+		}
+		return 0, nil
+	}
+	return e.countRange(ctx, p, cand, canceled)
+}
+
 // countMatches counts the candidate traces matching p, sharding the
-// candidate list across workers when it is large enough to pay off.
+// candidate list across workers when it is large enough to pay off. An
+// empty candidate list means the index already proved f(p) = 0; the scan is
+// skipped and pattern.index_skips incremented.
 func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (int, error) {
 	tele := e.tele.Load()
 	if tele != nil {
@@ -215,6 +287,12 @@ func (e *Engine) countMatches(ctx context.Context, p *Pattern, cand []int32) (in
 		defer sp.Stop()
 		tele.scans.Inc()
 		tele.traces.Add(int64(len(cand)))
+	}
+	if len(cand) == 0 {
+		if tele != nil {
+			tele.indexSkips.Inc()
+		}
+		return 0, nil
 	}
 	w := e.Workers()
 	if w <= 1 || len(cand) < minParallelTraces {

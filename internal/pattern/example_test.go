@@ -6,6 +6,7 @@ import (
 
 	"eventmatch/internal/event"
 	"eventmatch/internal/pattern"
+	"eventmatch/internal/telemetry"
 )
 
 // Parsing is separate from binding: a pattern file is parsed once into
@@ -56,4 +57,35 @@ func ExampleEngine() {
 	// Output:
 	// parallel   f(SEQ(A,D)) = 0.75
 	// sequential f(SEQ(A,D)) = 0.75
+}
+
+// When a pattern's events never co-occur in any trace, the ∩It(v) bitset
+// intersection comes up empty and the engine resolves f(p) = 0 from the
+// index alone — no trace is scanned. The pattern.index_skips counter
+// records each evaluation resolved this way.
+func ExampleEngine_indexOnlySkip() {
+	l := event.FromStrings(
+		"A B",
+		"C D",
+		"A D",
+	)
+	ix := pattern.NewTraceIndex(l)
+	// B and C never appear in the same trace.
+	p := pattern.MustSeq(
+		pattern.Single(l.Alphabet.Lookup("B")),
+		pattern.Single(l.Alphabet.Lookup("C")),
+	)
+
+	eng := pattern.NewEngine(ix, 1)
+	reg := telemetry.NewRegistry()
+	eng.SetTelemetry(reg)
+
+	fmt.Printf("f(SEQ(B,C)) = %.2f\n", eng.Frequency(p))
+	snap := reg.Snapshot()
+	fmt.Printf("index skips    = %d\n", snap.Counter("pattern.index_skips"))
+	fmt.Printf("traces scanned = %d\n", snap.Counter("engine.traces_scanned"))
+	// Output:
+	// f(SEQ(B,C)) = 0.00
+	// index skips    = 1
+	// traces scanned = 0
 }

@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"context"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,17 +13,31 @@ import (
 
 // PatternIndex is the inverted index Ip of Section 3.2.1: for each event, the
 // (indices of) patterns that contain it.
+//
+// The index is dense: it is a slice keyed directly by the event's interned
+// ID, not a map, so the A* expansion loop (which consults Ip once per
+// candidate mapping) pays an array load instead of a hash probe. This relies
+// on the interning contract of event.Alphabet — IDs are assigned
+// contiguously from 0 per log, stable for the lifetime of that alphabet, and
+// carry no meaning across logs. A PatternIndex built over L1's patterns must
+// therefore only ever be queried with L1 IDs; IDs outside the indexed range
+// (including event.None) simply report no patterns.
 type PatternIndex struct {
 	patterns []*Pattern
-	byEvent  map[event.ID][]int
+	byEvent  [][]int // byEvent[v] = indices of patterns containing event v
 }
 
 // NewPatternIndex indexes the given pattern set. The slice is retained; the
 // index refers to patterns by their position in it.
 func NewPatternIndex(patterns []*Pattern) *PatternIndex {
-	ix := &PatternIndex{patterns: patterns, byEvent: make(map[event.ID][]int)}
+	ix := &PatternIndex{patterns: patterns}
 	for i, p := range patterns {
 		for _, v := range p.Events() {
+			if int(v) >= len(ix.byEvent) {
+				grown := make([][]int, int(v)+1)
+				copy(grown, ix.byEvent)
+				ix.byEvent = grown
+			}
 			ix.byEvent[v] = append(ix.byEvent[v], i)
 		}
 	}
@@ -32,12 +47,18 @@ func NewPatternIndex(patterns []*Pattern) *PatternIndex {
 // Patterns returns the indexed pattern set.
 func (ix *PatternIndex) Patterns() []*Pattern { return ix.patterns }
 
-// Containing returns the indices of patterns containing event v.
-func (ix *PatternIndex) Containing(v event.ID) []int { return ix.byEvent[v] }
+// Containing returns the indices of patterns containing event v. Events
+// outside the indexed range (and event.None) yield nil.
+func (ix *PatternIndex) Containing(v event.ID) []int {
+	if uint(v) >= uint(len(ix.byEvent)) {
+		return nil
+	}
+	return ix.byEvent[v]
+}
 
 // Degree returns the number of patterns containing event v; the A* expansion
 // order picks the unmapped event with the highest degree first (§3.1).
-func (ix *PatternIndex) Degree(v event.ID) int { return len(ix.byEvent[v]) }
+func (ix *PatternIndex) Degree(v event.ID) int { return len(ix.Containing(v)) }
 
 // NewlyCompleted returns the indices of patterns whose event sets are fully
 // inside mapped∪{a} but were not fully inside mapped — i.e. the set P_new of
@@ -45,7 +66,7 @@ func (ix *PatternIndex) Degree(v event.ID) int { return len(ix.byEvent[v]) }
 // report the previously mapped events.
 func (ix *PatternIndex) NewlyCompleted(a event.ID, mapped func(event.ID) bool) []int {
 	var out []int
-	for _, pi := range ix.byEvent[a] {
+	for _, pi := range ix.Containing(a) {
 		p := ix.patterns[pi]
 		complete := true
 		for _, v := range p.Events() {
@@ -62,23 +83,52 @@ func (ix *PatternIndex) NewlyCompleted(a event.ID, mapped func(event.ID) bool) [
 }
 
 // TraceIndex is the inverted index It of Section 3.2.3: for each event, the
-// sorted list of trace positions (indices into the log) containing it.
+// set of traces (indices into the log) containing it.
+//
+// Two representations are kept side by side, built in one pass over the log:
+//
+//   - a sorted posting list per event ([]int32 of trace indices), served by
+//     Traces — the classic inverted-index form, still the right shape for
+//     consumers that walk one event's traces in order;
+//   - a trace-membership bitset per event, served by Bits — the dense-kernel
+//     form the frequency engine scans with.
+//
+// Bitset word layout: all bitsets share one flat []uint64 backing array of
+// NumEvents×nw words, where nw = ⌈NumTraces/64⌉. Event e owns the word range
+// [e·nw, (e+1)·nw); within it, trace t is bit t%64 of word t/64 (bit 0 =
+// least significant). The flat layout keeps an event's words contiguous, so
+// the ∩It(v) candidate intersection of Section 3.2.3 is a straight word-wise
+// AND with popcount — k·nw word operations regardless of how long the
+// posting lists are — and an empty intersection is detected without ever
+// touching a trace (the index-only fast path, surfaced as the
+// pattern.index_skips counter by Engine).
+//
+// Like PatternIndex, the trace index is keyed by the log's interned event
+// IDs; IDs from any other alphabet are meaningless here, and out-of-range
+// IDs yield empty results.
 type TraceIndex struct {
 	log     *event.Log
-	byEvent [][]int32
+	byEvent [][]int32 // sorted posting lists
+	words   []uint64  // flat bitsets: event e owns words[e*nw : (e+1)*nw]
+	nw      int       // words per event bitset = ceil(NumTraces/64)
 }
 
 // NewTraceIndex builds the trace index for a log.
 func NewTraceIndex(l *event.Log) *TraceIndex {
-	ix := &TraceIndex{log: l, byEvent: make([][]int32, l.NumEvents())}
-	seen := make([]bool, l.NumEvents())
+	nEvents := l.NumEvents()
+	nw := (l.NumTraces() + 63) / 64
+	ix := &TraceIndex{
+		log:     l,
+		byEvent: make([][]int32, nEvents),
+		words:   make([]uint64, nEvents*nw),
+		nw:      nw,
+	}
 	for ti, t := range l.Traces {
-		for i := range seen {
-			seen[i] = false
-		}
+		w, bit := ti>>6, uint64(1)<<(uint(ti)&63)
 		for _, e := range t {
-			if !seen[e] {
-				seen[e] = true
+			row := int(e) * nw
+			if ix.words[row+w]&bit == 0 {
+				ix.words[row+w] |= bit
 				ix.byEvent[e] = append(ix.byEvent[e], int32(ti))
 			}
 		}
@@ -90,63 +140,92 @@ func NewTraceIndex(l *event.Log) *TraceIndex {
 func (ix *TraceIndex) Log() *event.Log { return ix.log }
 
 // Traces returns the sorted trace indices containing event v. The returned
-// slice must not be modified.
+// slice must not be modified; events outside the alphabet yield nil.
 func (ix *TraceIndex) Traces(v event.ID) []int32 {
-	if int(v) >= len(ix.byEvent) {
+	if uint(v) >= uint(len(ix.byEvent)) {
 		return nil
 	}
 	return ix.byEvent[v]
 }
 
-// Candidates returns the sorted trace indices containing every given event —
-// the ∩ It(v) of Section 3.2.3. Events outside the alphabet yield nil.
-func (ix *TraceIndex) Candidates(events []event.ID) []int32 {
-	if len(events) == 0 {
+// Bits returns event v's trace-membership bitset: bit t%64 of word t/64 is
+// set iff trace t contains v. The returned slice aliases the index and must
+// not be modified; events outside the alphabet yield nil.
+func (ix *TraceIndex) Bits(v event.ID) []uint64 {
+	if uint(v) >= uint(len(ix.byEvent)) {
 		return nil
 	}
-	// Intersect starting from the rarest list to keep the work proportional
-	// to the smallest posting list.
-	lists := make([][]int32, len(events))
-	for i, v := range events {
-		lists[i] = ix.Traces(v)
-		if len(lists[i]) == 0 {
-			return nil
-		}
-	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	acc := lists[0]
-	for _, l := range lists[1:] {
-		acc = intersect32(acc, l)
-		if len(acc) == 0 {
-			return nil
-		}
-	}
-	// acc may alias lists[0]; copy so callers can hold it safely.
-	out := make([]int32, len(acc))
-	copy(out, acc)
-	return out
+	return ix.words[int(v)*ix.nw : (int(v)+1)*ix.nw]
 }
 
-func intersect32(a, b []int32) []int32 {
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+// intersectInto ANDs the trace bitsets of the given events into dst (which
+// must have length nw) and returns the number of set bits — the size of
+// ∩It(v). It returns 0 without completing the AND as soon as the running
+// intersection empties, and 0 immediately for an empty event list or any
+// event outside the alphabet.
+func (ix *TraceIndex) intersectInto(dst []uint64, events []event.ID) int {
+	if len(events) == 0 || ix.nw == 0 {
+		return 0
+	}
+	first := ix.Bits(events[0])
+	if first == nil {
+		return 0
+	}
+	copy(dst, first)
+	for _, v := range events[1:] {
+		b := ix.Bits(v)
+		if b == nil {
+			return 0
+		}
+		var any uint64
+		for w := range dst {
+			dst[w] &= b[w]
+			any |= dst[w]
+		}
+		if any == 0 {
+			return 0
 		}
 	}
-	return out
+	n := 0
+	for _, w := range dst {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// appendSetBits appends the positions of the set bits of words to dst in
+// ascending order (trace t = word t/64, bit t%64) and returns dst.
+func appendSetBits(dst []int32, words []uint64) []int32 {
+	for wi, w := range words {
+		base := int32(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Candidates returns the sorted trace indices containing every given event —
+// the ∩ It(v) of Section 3.2.3, computed as a word-wise AND over the events'
+// trace bitsets followed by a set-bit walk. An empty intersection (including
+// events outside the alphabet) yields nil. Each call allocates its result;
+// the frequency engine uses pooled scratch buffers instead (see Engine).
+func (ix *TraceIndex) Candidates(events []event.ID) []int32 {
+	if ix.nw == 0 {
+		return nil
+	}
+	scratch := make([]uint64, ix.nw)
+	n := ix.intersectInto(scratch, events)
+	if n == 0 {
+		return nil
+	}
+	return appendSetBits(make([]int32, 0, n), scratch)
 }
 
 // Frequency computes f(p) over the indexed log, scanning only the traces
-// that contain all of p's events.
+// that contain all of p's events. An empty candidate intersection returns 0
+// without touching any trace.
 func (ix *TraceIndex) Frequency(p *Pattern) float64 {
 	total := ix.log.NumTraces()
 	if total == 0 {
@@ -182,11 +261,15 @@ type cacheShard struct {
 // cacheShards segments each guarded by its own mutex (keys are distributed
 // by FNV-1a hash), and each shard keeps its own atomic hit/miss/evict
 // counters so concurrent lookups never contend on a shared cache-wide
-// counter cache line.
+// counter cache line. Signature keys are rendered into pooled byte buffers
+// and looked up via the compiler's zero-copy map[string] access, so a cache
+// hit allocates nothing; only a miss pays one string allocation when the
+// entry is inserted.
 type FrequencyCache struct {
 	eng         *Engine
 	shards      [cacheShards]cacheShard
 	maxPerShard atomic.Int64 // 0 = unbounded
+	sigBufs     sync.Pool    // *[]byte signature scratch
 }
 
 // NewFrequencyCache wraps a trace index with a frequency memo table using a
@@ -290,7 +373,7 @@ func (c *FrequencyCache) SetTelemetry(reg *telemetry.Registry) {
 }
 
 // shardOf distributes a cache key over the shards by FNV-1a hash.
-func shardOf(key string) int {
+func shardOf(key []byte) int {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -313,18 +396,25 @@ func (c *FrequencyCache) Frequency(p *Pattern) float64 {
 // observed mid-scan returns (0, ctx.Err()) and leaves the cache untouched —
 // partial scans are never memoized.
 func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (float64, error) {
-	key := signature(p)
+	bufp, _ := c.sigBufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	key := appendSignature((*bufp)[:0], p)
+	*bufp = key
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	f, ok := sh.m[key]
+	f, ok := sh.m[string(key)] // zero-copy lookup: no string allocation
 	sh.mu.Unlock()
 	if ok {
+		c.sigBufs.Put(bufp)
 		sh.hits.Add(1)
 		return f, nil
 	}
 	sh.miss.Add(1)
 	f, err := c.eng.FrequencyContext(ctx, p)
 	if err != nil {
+		c.sigBufs.Put(bufp)
 		return 0, err
 	}
 	max := c.maxPerShard.Load()
@@ -339,8 +429,9 @@ func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (floa
 			sh.evict.Add(1)
 		}
 	}
-	sh.m[key] = f
+	sh.m[string(key)] = f // insert allocates the key string once
 	sh.mu.Unlock()
+	c.sigBufs.Put(bufp)
 	return f, nil
 }
 
@@ -364,33 +455,22 @@ func (c *FrequencyCache) Evictions() int {
 	return int(n)
 }
 
-// signature produces a canonical string for the pattern structure + events,
-// suitable as a cache key.
-func signature(p *Pattern) string {
-	var b []byte
-	var walk func(p *Pattern)
-	walk = func(p *Pattern) {
-		switch p.op {
-		case OpEvent:
-			b = appendInt(b, int(p.event))
-		case OpSeq:
-			b = append(b, 'S', '(')
-			for _, s := range p.subs {
-				walk(s)
-				b = append(b, ',')
-			}
-			b = append(b, ')')
-		default:
-			b = append(b, 'A', '(')
-			for _, s := range p.subs {
-				walk(s)
-				b = append(b, ',')
-			}
-			b = append(b, ')')
-		}
+// appendSignature renders a canonical byte string for the pattern structure
+// + events into dst, suitable as a cache key.
+func appendSignature(dst []byte, p *Pattern) []byte {
+	switch p.op {
+	case OpEvent:
+		return appendInt(dst, int(p.event))
+	case OpSeq:
+		dst = append(dst, 'S', '(')
+	default:
+		dst = append(dst, 'A', '(')
 	}
-	walk(p)
-	return string(b)
+	for _, s := range p.subs {
+		dst = appendSignature(dst, s)
+		dst = append(dst, ',')
+	}
+	return append(dst, ')')
 }
 
 func appendInt(b []byte, v int) []byte {
@@ -409,4 +489,54 @@ func appendInt(b []byte, v int) []byte {
 		v /= 10
 	}
 	return append(b, tmp[i:]...)
+}
+
+// intersect32 merges two sorted posting lists; retained for the reference
+// evaluation path (see reference.go) and differential tests.
+func intersect32(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CandidatesReference computes ∩It(v) by sorted-posting-list merge — the
+// pre-bitset implementation, retained as the differential-testing baseline
+// for Candidates. Production code paths use Candidates.
+func (ix *TraceIndex) CandidatesReference(events []event.ID) []int32 {
+	if len(events) == 0 {
+		return nil
+	}
+	// Intersect starting from the rarest list to keep the work proportional
+	// to the smallest posting list.
+	lists := make([][]int32, len(events))
+	for i, v := range events {
+		lists[i] = ix.Traces(v)
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = intersect32(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	// acc may alias lists[0]; copy so callers can hold it safely.
+	out := make([]int32, len(acc))
+	copy(out, acc)
+	return out
 }

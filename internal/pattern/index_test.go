@@ -139,6 +139,7 @@ func TestSignatureDistinguishesStructure(t *testing.T) {
 	p1 := must(ParseBind("SEQ(A,B,C)", a))
 	p2 := must(ParseBind("SEQ(SEQ(A,B),C)", a))
 	p3 := must(ParseBind("AND(A,B,C)", a))
+	signature := func(p *Pattern) string { return string(appendSignature(nil, p)) }
 	s1, s2, s3 := signature(p1), signature(p2), signature(p3)
 	if s1 == s3 {
 		t.Error("SEQ vs AND must differ")

@@ -45,18 +45,20 @@ type Pattern struct {
 	event event.ID   // valid when op == OpEvent
 	subs  []*Pattern // valid otherwise
 
-	size   int               // number of events in the subtree
-	events map[event.ID]bool // event set of the subtree
-	order  []event.ID        // events in left-to-right appearance order
+	size   int        // number of events in the subtree
+	events *event.Set // event set of the subtree (dense bitset — the hot-path membership test)
+	order  []event.ID // events in left-to-right appearance order
 }
 
 // Single returns the pattern consisting of one event.
 func Single(v event.ID) *Pattern {
+	s := &event.Set{}
+	s.Add(v)
 	return &Pattern{
 		op:     OpEvent,
 		event:  v,
 		size:   1,
-		events: map[event.ID]bool{v: true},
+		events: s,
 		order:  []event.ID{v},
 	}
 }
@@ -88,19 +90,19 @@ func compose(op Op, subs []*Pattern) (*Pattern, error) {
 	if len(subs) == 1 {
 		return subs[0], nil
 	}
-	p := &Pattern{op: op, subs: subs, events: make(map[event.ID]bool)}
+	p := &Pattern{op: op, subs: subs, events: &event.Set{}}
 	for _, s := range subs {
 		if s == nil {
 			return nil, fmt.Errorf("pattern: nil sub-pattern")
 		}
 		p.size += s.size
-		// Iterate the appearance-order slice, not the event set: with several
-		// shared events the reported duplicate must not depend on map order.
+		// Iterate the appearance-order slice so the reported duplicate is the
+		// first one in left-to-right order.
 		for _, v := range s.order {
-			if p.events[v] {
+			if p.events.Has(v) {
 				return nil, fmt.Errorf("pattern: duplicate event %d (pattern events must be distinct)", v)
 			}
-			p.events[v] = true
+			p.events.Add(v)
 		}
 		p.order = append(p.order, s.order...)
 	}
@@ -117,8 +119,9 @@ func (p *Pattern) Size() int { return p.size }
 // returned slice must not be modified.
 func (p *Pattern) Events() []event.ID { return p.order }
 
-// Contains reports whether event v occurs in the pattern.
-func (p *Pattern) Contains(v event.ID) bool { return p.events[v] }
+// Contains reports whether event v occurs in the pattern. The test is a
+// bitset probe — constant time, no allocation, no hashing.
+func (p *Pattern) Contains(v event.ID) bool { return p.events.Has(v) }
 
 // Orders returns omega(p) = |I(p)|, the number of distinct event orderings
 // the pattern accepts. The count saturates at math.MaxInt64 for pathological
@@ -329,12 +332,37 @@ func (p *Pattern) matchExact(w []event.ID) bool {
 		}
 		return true
 	default: // OpAnd
+		if len(p.subs) <= 64 {
+			// Common case: consumed-block bookkeeping fits one machine word,
+			// so the scan loop allocates nothing.
+			var done uint64
+			i := 0
+			for i < len(w) {
+				owner := -1
+				for k, s := range p.subs {
+					if done&(1<<uint(k)) == 0 && s.events.Has(w[i]) {
+						owner = k
+						break
+					}
+				}
+				if owner == -1 {
+					return false
+				}
+				s := p.subs[owner]
+				if i+s.size > len(w) || !s.matchExact(w[i:i+s.size]) {
+					return false
+				}
+				done |= 1 << uint(owner)
+				i += s.size
+			}
+			return true
+		}
 		done := make([]bool, len(p.subs))
 		i := 0
 		for i < len(w) {
 			owner := -1
 			for k, s := range p.subs {
-				if !done[k] && s.events[w[i]] {
+				if !done[k] && s.events.Has(w[i]) {
 					owner = k
 					break
 				}
@@ -358,7 +386,7 @@ func (p *Pattern) matchExact(w []event.ID) bool {
 func (p *Pattern) MatchesTrace(t event.Trace) bool {
 	k := p.size
 	for i := 0; i+k <= len(t); i++ {
-		if p.events[t[i]] && p.matchExact(t[i:i+k]) {
+		if p.events.Has(t[i]) && p.matchExact(t[i:i+k]) {
 			return true
 		}
 	}

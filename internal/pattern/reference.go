@@ -1,0 +1,114 @@
+package pattern
+
+import "eventmatch/internal/event"
+
+// ReferencePattern is the pre-dense-kernel matcher, preserved verbatim in
+// behavior: event membership through a hash map, per-window consumed-block
+// bookkeeping through a freshly allocated []bool, and candidate traces
+// through the sorted-posting-list merge (CandidatesReference). It exists for
+// two reasons:
+//
+//   - differential testing: the dense bitset kernel must produce
+//     bit-identical frequencies and candidate lists on every input (see
+//     dense_test.go);
+//   - the bench rig's baseline row: BENCH_freq.json records the reference
+//     path's ns/op and allocs/op next to the kernel's, so the speedup is
+//     measured against the representation it replaced, not guessed.
+//
+// It is deliberately not optimized; production code uses Pattern + Engine.
+type ReferencePattern struct {
+	op     Op
+	event  event.ID
+	subs   []*ReferencePattern
+	size   int
+	events map[event.ID]bool
+	order  []event.ID
+}
+
+// NewReferencePattern mirrors p into the map-backed reference
+// representation.
+func NewReferencePattern(p *Pattern) *ReferencePattern {
+	r := &ReferencePattern{
+		op:     p.op,
+		event:  p.event,
+		size:   p.size,
+		events: make(map[event.ID]bool, len(p.order)),
+		order:  p.order,
+	}
+	for _, v := range p.order {
+		r.events[v] = true
+	}
+	for _, s := range p.subs {
+		r.subs = append(r.subs, NewReferencePattern(s))
+	}
+	return r
+}
+
+// Events returns the pattern's events in appearance order.
+func (r *ReferencePattern) Events() []event.ID { return r.order }
+
+// MatchesTrace is Definition 4 on the reference representation.
+func (r *ReferencePattern) MatchesTrace(t event.Trace) bool {
+	k := r.size
+	for i := 0; i+k <= len(t); i++ {
+		if r.events[t[i]] && r.matchExact(t[i:i+k]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *ReferencePattern) matchExact(w []event.ID) bool {
+	switch r.op {
+	case OpEvent:
+		return w[0] == r.event
+	case OpSeq:
+		i := 0
+		for _, s := range r.subs {
+			if !s.matchExact(w[i : i+s.size]) {
+				return false
+			}
+			i += s.size
+		}
+		return true
+	default: // OpAnd
+		done := make([]bool, len(r.subs))
+		i := 0
+		for i < len(w) {
+			owner := -1
+			for k, s := range r.subs {
+				if !done[k] && s.events[w[i]] {
+					owner = k
+					break
+				}
+			}
+			if owner == -1 {
+				return false
+			}
+			s := r.subs[owner]
+			if i+s.size > len(w) || !s.matchExact(w[i:i+s.size]) {
+				return false
+			}
+			done[owner] = true
+			i += s.size
+		}
+		return true
+	}
+}
+
+// FrequencyReference computes f(p) through the reference path end to end:
+// posting-list-merge candidates, map-probe matching. The result must equal
+// Frequency (and Engine.Frequency at every worker count) bit for bit.
+func (ix *TraceIndex) FrequencyReference(r *ReferencePattern) float64 {
+	total := ix.log.NumTraces()
+	if total == 0 {
+		return 0
+	}
+	n := 0
+	for _, ti := range ix.CandidatesReference(r.Events()) {
+		if r.MatchesTrace(ix.log.Traces[ti]) {
+			n++
+		}
+	}
+	return float64(n) / float64(total)
+}
