@@ -13,8 +13,16 @@
 //	-addr            listen address (default 127.0.0.1:8080; use :0 for an
 //	                 ephemeral port — the bound address is printed on stdout)
 //	-workers         concurrent jobs (default 2)
-//	-queue-depth     admission queue depth; beyond it submissions get 429
-//	                 with Retry-After (default 8)
+//	-queue-depth     aggregate admission queue depth; beyond it submissions
+//	                 get 429 with Retry-After (default 8)
+//	-tenant-queue-depth  per-tenant share of the admission queue; one
+//	                 tenant's backlog can never occupy more slots than this
+//	                 (default 0 = the full -queue-depth)
+//	-tenant-weights  weighted-fair scheduling weights, "name=weight" pairs
+//	                 ("alpha=3,beta=1"); unlisted tenants weigh 1
+//	-tenant-rates    per-tenant rate limits, "count/window" pairs
+//	                 ("10/s,200/m"); over-limit submissions get 429 with a
+//	                 limiter-derived Retry-After. Empty = no rate limiting
 //	-search-workers  per-job search parallelism and its clamp (default 1)
 //	-deadline        default per-job search budget (default 30s)
 //	-max-deadline    clamp for client-requested budgets (default 5m)
@@ -56,6 +64,7 @@ import (
 
 	"eventmatch/internal/server"
 	"eventmatch/internal/server/store"
+	"eventmatch/internal/server/tenant"
 	"eventmatch/internal/telemetry"
 )
 
@@ -66,17 +75,20 @@ const (
 )
 
 type daemonOptions struct {
-	addr            string
-	workers         int
-	queueDepth      int
-	searchWorkers   int
-	deadline        time.Duration
-	maxDeadline     time.Duration
-	maxUploadBytes  int64
-	drainTimeout    time.Duration
-	metricsJSON     string
-	dataDir         string
-	checkpointEvery time.Duration
+	addr             string
+	workers          int
+	queueDepth       int
+	tenantQueueDepth int
+	tenantWeights    string
+	tenantRates      string
+	searchWorkers    int
+	deadline         time.Duration
+	maxDeadline      time.Duration
+	maxUploadBytes   int64
+	drainTimeout     time.Duration
+	metricsJSON      string
+	dataDir          string
+	checkpointEvery  time.Duration
 }
 
 func main() {
@@ -95,7 +107,10 @@ func parseFlags(fs *flag.FlagSet, args []string) daemonOptions {
 	var o daemonOptions
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (:0 = ephemeral port)")
 	fs.IntVar(&o.workers, "workers", 2, "concurrent jobs")
-	fs.IntVar(&o.queueDepth, "queue-depth", 8, "admission queue depth (full queue = 429)")
+	fs.IntVar(&o.queueDepth, "queue-depth", 8, "aggregate admission queue depth (full queue = 429)")
+	fs.IntVar(&o.tenantQueueDepth, "tenant-queue-depth", 0, "per-tenant queue share (0 = full -queue-depth)")
+	fs.StringVar(&o.tenantWeights, "tenant-weights", "", "weighted-fair tenant weights, e.g. alpha=3,beta=1")
+	fs.StringVar(&o.tenantRates, "tenant-rates", "", "per-tenant rate limits, e.g. 10/s,200/m (empty = unlimited)")
 	fs.IntVar(&o.searchWorkers, "search-workers", 1, "per-job search parallelism")
 	fs.DurationVar(&o.deadline, "deadline", 30*time.Second, "default per-job search budget")
 	fs.DurationVar(&o.maxDeadline, "max-deadline", 5*time.Minute, "clamp for client-requested budgets")
@@ -120,6 +135,15 @@ func parseFlags(fs *flag.FlagSet, args []string) daemonOptions {
 // and the drain completes. onReady, when non-nil, receives the bound address
 // once the listener is up — tests use it instead of scraping stdout.
 func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(addr string)) (int, error) {
+	rates, err := tenant.ParseRates(o.tenantRates)
+	if err != nil {
+		return exitUsage, err
+	}
+	weights, err := tenant.ParseWeights(o.tenantWeights)
+	if err != nil {
+		return exitUsage, err
+	}
+
 	reg := telemetry.NewRegistry()
 	if err := reg.PublishExpvar("eventmatchd"); err != nil {
 		return exitError, err
@@ -142,15 +166,18 @@ func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(ad
 	}
 
 	srv := server.New(server.Config{
-		Workers:         o.workers,
-		QueueDepth:      o.queueDepth,
-		SearchWorkers:   o.searchWorkers,
-		DefaultDeadline: o.deadline,
-		MaxDeadline:     o.maxDeadline,
-		MaxUploadBytes:  o.maxUploadBytes,
-		Store:           st,
-		CheckpointEvery: o.checkpointEvery,
-		Telemetry:       reg,
+		Workers:          o.workers,
+		QueueDepth:       o.queueDepth,
+		TenantQueueDepth: o.tenantQueueDepth,
+		TenantWeights:    weights,
+		TenantRates:      rates,
+		SearchWorkers:    o.searchWorkers,
+		DefaultDeadline:  o.deadline,
+		MaxDeadline:      o.maxDeadline,
+		MaxUploadBytes:   o.maxUploadBytes,
+		Store:            st,
+		CheckpointEvery:  o.checkpointEvery,
+		Telemetry:        reg,
 	})
 	if st != nil {
 		sum := srv.Recover(recovery)

@@ -12,6 +12,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"testing"
@@ -658,4 +659,238 @@ func runCLI(t *testing.T, dir string) (map[string]string, string) {
 		t.Fatalf("could not parse CLI output:\n%s", out)
 	}
 	return pairs, score
+}
+
+// TestE2EFairness is the CI multi-tenant fairness gate (set
+// EVENTMATCHD_E2E=1): the real daemon runs with per-tenant rate limits,
+// queue slices and fair-share weights while tenant "heavy" floods it with
+// slow exact jobs and tenant "light" keeps submitting quick ones. The
+// contract under contention: light's jobs are never starved (bounded p95
+// turnaround), light's concurrent results are bit-identical to its serial
+// baseline, heavy's flood is answered with per-tenant 429s carrying sane
+// Retry-After hints, and the per-tenant telemetry rollup accounts for all of
+// it. Set EVENTMATCHD_FAIRNESS_SNAPSHOT to keep the metrics snapshot (CI
+// uploads it as an artifact).
+func TestE2EFairness(t *testing.T) {
+	if os.Getenv("EVENTMATCHD_E2E") != "1" {
+		t.Skip("set EVENTMATCHD_E2E=1 to run the fairness gate")
+	}
+	log1, log2, patterns, truth := fig1Inputs(t)
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	cmd, addr, stderr := startDaemon(t,
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-queue-depth", "12",
+		"-tenant-queue-depth", "8",
+		"-tenant-weights", "heavy=1,light=3",
+		"-tenant-rates", "20/s",
+		"-metrics-json", metrics)
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	base := client.New("http://"+addr, nil)
+	heavyC := base.WithTenant("heavy")
+	lightC := base.WithTenant("light")
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	submitLight := func() (server.JobStatus, error) {
+		return lightC.SubmitUpload(ctx,
+			client.Upload{Name: "l1.log", Data: log1},
+			client.Upload{Name: "l2.log", Data: log2},
+			patterns, truth,
+			server.SubmitRequest{Algorithm: "heuristic-advanced", TimeoutMS: 60_000})
+	}
+
+	// 1. Serial baseline: one light job on the idle daemon. Every light
+	// result produced under the flood must match it bit for bit.
+	st0, err := submitLight()
+	if err != nil {
+		t.Fatalf("baseline submit: %v", err)
+	}
+	if final, err := lightC.Wait(ctx, st0.ID, 10*time.Millisecond); err != nil || final.State != server.StateDone {
+		t.Fatalf("baseline wait: %v (state %s)", err, final.State)
+	}
+	baseline, err := lightC.Result(ctx, st0.ID)
+	if err != nil {
+		t.Fatalf("baseline result: %v", err)
+	}
+
+	// 2. The heavy flood: slow exact jobs submitted far faster than the
+	// 20/s budget until the limiter pushes back and the tenant's queue
+	// slice is full. Runs concurrently with the light submitter below.
+	g := gen.RandomPair(3, 14, 60, 12)
+	render := func(l *eventmatch.Log) []byte {
+		var b strings.Builder
+		if err := logio.Write(&b, l, logio.FormatTraceLines); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(b.String())
+	}
+	h1, h2 := render(g.L1), render(g.L2)
+	hpat := []byte(strings.Join(g.Patterns, "\n"))
+
+	var (
+		heavyIDs    []string
+		rateLimited int
+		queueFull   int
+	)
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) && (len(heavyIDs) < 10 || rateLimited < 3) {
+			st, err := heavyC.SubmitUpload(ctx,
+				client.Upload{Name: "h1.log", Data: h1},
+				client.Upload{Name: "h2.log", Data: h2},
+				hpat, nil,
+				server.SubmitRequest{Algorithm: "exact", TimeoutMS: 1200})
+			var sat *client.SaturatedError
+			switch {
+			case err == nil:
+				if len(heavyIDs) < 10 {
+					heavyIDs = append(heavyIDs, st.ID)
+				} else {
+					heavyC.Cancel(ctx, st.ID) //nolint:errcheck // over-target stragglers
+				}
+			case errors.As(err, &sat):
+				if sat.RateLimited() {
+					rateLimited++
+					if sat.RetryAfter <= 0 || sat.RetryAfter > 5*time.Second {
+						t.Errorf("rate-limit Retry-After = %v, want (0s, 5s]", sat.RetryAfter)
+					}
+				} else {
+					queueFull++
+					if sat.RetryAfter <= 0 {
+						t.Errorf("queue-full Retry-After = %v, want > 0", sat.RetryAfter)
+					}
+				}
+			default:
+				t.Errorf("heavy submit: %v", err)
+				return
+			}
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	// 3. The light tenant under the flood: sequential quick jobs, each
+	// timed submit-to-done and checked against the serial baseline.
+	const lightJobs = 10
+	var latencies []time.Duration
+	for i := 0; i < lightJobs; i++ {
+		start := time.Now()
+		st, err := submitLight()
+		var sat *client.SaturatedError
+		if errors.As(err, &sat) {
+			// The aggregate queue can briefly fill; honor the hint once.
+			time.Sleep(sat.RetryAfter)
+			st, err = submitLight()
+		}
+		if err != nil {
+			t.Fatalf("light submit %d: %v", i, err)
+		}
+		final, err := lightC.Wait(ctx, st.ID, 10*time.Millisecond)
+		if err != nil || final.State != server.StateDone {
+			t.Fatalf("light wait %d: %v (state %s)", i, err, final.State)
+		}
+		latencies = append(latencies, time.Since(start))
+		res, err := lightC.Result(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("light result %d: %v", i, err)
+		}
+		if res.Score != baseline.Score || len(res.Pairs) != len(baseline.Pairs) {
+			t.Fatalf("light job %d drifted from serial baseline: score %v→%v, %d→%d pairs",
+				i, baseline.Score, res.Score, len(baseline.Pairs), len(res.Pairs))
+		}
+		for k, v := range baseline.Pairs {
+			if res.Pairs[k] != v {
+				t.Errorf("light job %d pair %s: %q, want %q", i, k, res.Pairs[k], v)
+			}
+		}
+	}
+	select {
+	case <-floodDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("heavy flood never finished")
+	}
+
+	// 4. Fairness: light's p95 turnaround stays bounded even though heavy
+	// kept both workers saturated with 1.2s exact searches. Without the
+	// weighted-fair queue, every light job would sit behind heavy's whole
+	// backlog (~5s each); with it, a light job waits at most one heavy
+	// service time plus its own few-ms run.
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p95 := sorted[len(sorted)*95/100]
+	if p95 > 10*time.Second {
+		t.Errorf("light p95 turnaround = %v, want <= 10s (all: %v)", p95, latencies)
+	}
+
+	// 5. The flood was answered with per-tenant policy, not starvation:
+	// rate-limit 429s for heavy, none for light, and every admitted heavy
+	// job still reaches a real terminal state.
+	if rateLimited < 3 {
+		t.Errorf("heavy rate-limit rejections = %d, want >= 3 (queue-full %d)", rateLimited, queueFull)
+	}
+	for _, id := range heavyIDs {
+		final, err := heavyC.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("heavy wait %s: %v", id, err)
+		}
+		if final.State != server.StateDone {
+			t.Errorf("heavy job %s ended %s (%s), want done", id, final.State, final.Error)
+		}
+	}
+
+	// 6. The per-tenant telemetry rollup accounts for both tenants.
+	snap, err := base.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if got := snap.Counter("server.tenant.heavy.rejected_rate"); got < 3 {
+		t.Errorf("server.tenant.heavy.rejected_rate = %d, want >= 3", got)
+	}
+	if got := snap.Counter("server.tenant.light.rejected_rate"); got != 0 {
+		t.Errorf("server.tenant.light.rejected_rate = %d, want 0", got)
+	}
+	if got := snap.Counter("server.tenant.light.completed"); got != lightJobs+1 {
+		t.Errorf("server.tenant.light.completed = %d, want %d", got, lightJobs+1)
+	}
+	if got := snap.Counter("server.jobs_rate_limited"); got < 3 {
+		t.Errorf("server.jobs_rate_limited = %d, want >= 3", got)
+	}
+	if n, total := snap.Timer("server.tenant.light.job_wait"); n == 0 {
+		t.Error("server.tenant.light.job_wait never observed")
+	} else if mean := total / time.Duration(n); mean > 5*time.Second {
+		t.Errorf("light mean queue wait = %v, want <= 5s", mean)
+	}
+	if path := os.Getenv("EVENTMATCHD_FAIRNESS_SNAPSHOT"); path != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Errorf("fairness snapshot: %v", err)
+		}
+	}
+
+	// 7. Graceful exit under multi-tenant config: SIGTERM still drains to 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon hung on SIGTERM; stderr:\n%s", stderr.String())
+	}
 }

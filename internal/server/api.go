@@ -129,6 +129,9 @@ type JobStatus struct {
 	ID        string   `json:"id"`
 	State     JobState `json:"state"`
 	Algorithm string   `json:"algorithm"`
+	// Tenant is the tenant identity the job was submitted under ("default"
+	// for unidentified traffic).
+	Tenant string `json:"tenant,omitempty"`
 
 	Created  string `json:"created"`
 	Started  string `json:"started,omitempty"`
@@ -173,6 +176,8 @@ type QualityInfo struct {
 type JobResult struct {
 	ID        string `json:"id"`
 	Algorithm string `json:"algorithm"`
+	// Tenant is the tenant identity the job was submitted under.
+	Tenant string `json:"tenant,omitempty"`
 
 	// Pairs is the name-level mapping (Log1 event → Log2 event).
 	Pairs map[string]string `json:"pairs"`
@@ -201,9 +206,26 @@ type ListResponse struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
+// Rejection reasons carried in ErrorResponse.Reason on HTTP 429, so clients
+// can distinguish backpressure (queue full: capacity will free as jobs
+// finish) from policy (rate limited: the tenant must slow down) without
+// parsing the message.
+const (
+	// ReasonQueueFull: the admission queue (aggregate or the tenant's own
+	// slice of it) is at capacity. Retry-After derives from the observed job
+	// service time.
+	ReasonQueueFull = "queue_full"
+	// ReasonRateLimited: the tenant exceeded a configured rate window.
+	// Retry-After derives from the limiter's earliest-admissible instant.
+	ReasonRateLimited = "rate_limited"
+)
+
 // ErrorResponse is the body of every non-2xx API response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Reason machine-tags HTTP 429 rejections: ReasonQueueFull or
+	// ReasonRateLimited.
+	Reason string `json:"reason,omitempty"`
 	// RetryAfterSec accompanies HTTP 429: the suggested backoff, also sent
 	// as a Retry-After header.
 	RetryAfterSec int `json:"retry_after_sec,omitempty"`

@@ -25,9 +25,10 @@ import (
 
 // Client talks to one eventmatchd instance.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base   string
+	hc     *http.Client
+	retry  RetryPolicy
+	tenant string
 }
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
@@ -74,6 +75,20 @@ func DefaultRetryPolicy() RetryPolicy {
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	cp := *c
 	cp.retry = p
+	return &cp
+}
+
+// WithTenant returns a copy of the client that identifies as the named
+// tenant: every request carries an X-Tenant header, so submissions land in
+// that tenant's rate-limit bucket and fair-queue lane. The empty name (the
+// default) submits as the server's default tenant.
+//
+// Tenant-aware retry comes for free: a per-tenant 429 surfaces as a
+// *SaturatedError whose RetryAfter carries the server's limiter-derived
+// hint, which the retry policy honors over its own backoff schedule.
+func (c *Client) WithTenant(name string) *Client {
+	cp := *c
+	cp.tenant = name
 	return &cp
 }
 
@@ -141,15 +156,31 @@ func (e *StatusError) Error() string {
 // produce a result — retrying the fetch is pointless.
 func (e *StatusError) TerminalJob() bool { return e.State.Terminal() }
 
-// SaturatedError is a 429 reject: the daemon's job queue is full.
+// SaturatedError is a 429 reject: the daemon's job queue is full
+// (backpressure) or the tenant is over its rate limit (policy).
 type SaturatedError struct {
-	// RetryAfter is the server's suggested backoff.
+	// RetryAfter is the server's suggested backoff. For rate-limit rejects
+	// it is the limiter's exact earliest-admissible hint; for queue-full
+	// rejects it is an estimate from observed job service time.
 	RetryAfter time.Duration
+	// Reason distinguishes the reject: server.ReasonQueueFull,
+	// server.ReasonRateLimited, or "" from servers predating the field.
+	Reason string
 }
 
 func (e *SaturatedError) Error() string {
-	return fmt.Sprintf("server: job queue full (retry after %v)", e.RetryAfter)
+	switch e.Reason {
+	case server.ReasonRateLimited:
+		return fmt.Sprintf("server: rate limited (retry after %v)", e.RetryAfter)
+	case server.ReasonQueueFull, "":
+		return fmt.Sprintf("server: job queue full (retry after %v)", e.RetryAfter)
+	}
+	return fmt.Sprintf("server: rejected (%s, retry after %v)", e.Reason, e.RetryAfter)
 }
+
+// RateLimited reports whether the reject was rate-limit policy rather than
+// queue backpressure.
+func (e *SaturatedError) RateLimited() bool { return e.Reason == server.ReasonRateLimited }
 
 // Retryable reports whether err is worth retrying against the same daemon:
 // saturation rejects (429), gateway-style server errors (502/503/504, e.g. a
@@ -331,6 +362,9 @@ func (c *Client) Health(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -378,6 +412,9 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
@@ -392,7 +429,7 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 				retry = time.Duration(sec) * time.Second
 			}
 		}
-		return &SaturatedError{RetryAfter: retry}
+		return &SaturatedError{RetryAfter: retry, Reason: e.Reason}
 	}
 	if resp.StatusCode/100 != 2 {
 		var e server.ErrorResponse

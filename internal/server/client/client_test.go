@@ -191,3 +191,61 @@ func TestClientSaturationAndCancel(t *testing.T) {
 		}
 	}
 }
+
+// TestClientTenant covers the tenant-aware client surface: WithTenant stamps
+// submissions with the tenant identity, and a rate-limit reject comes back as
+// a SaturatedError that knows it is policy (RateLimited) and carries the
+// limiter's exact Retry-After.
+func TestClientTenant(t *testing.T) {
+	_, c := testDaemon(t, server.Config{
+		Workers:     2,
+		QueueDepth:  4,
+		TenantRates: map[time.Duration]int{time.Minute: 1},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	alpha := c.WithTenant("alpha")
+	st, err := alpha.Submit(ctx, server.SubmitRequest{
+		Log1:      server.LogPayload{Data: "A B\nB A\n"},
+		Log2:      server.LogPayload{Data: "X Y\nY X\n"},
+		Algorithm: "vertex",
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.Tenant != "alpha" {
+		t.Fatalf("tenant = %q, want alpha", st.Tenant)
+	}
+
+	// One per minute: the second submission is a policy reject, not backpressure.
+	_, err = alpha.Submit(ctx, server.SubmitRequest{
+		Log1:      server.LogPayload{Data: "A B\n"},
+		Log2:      server.LogPayload{Data: "X Y\n"},
+		Algorithm: "vertex",
+	})
+	var sat *SaturatedError
+	if !errors.As(err, &sat) {
+		t.Fatalf("over-limit submit error = %v, want SaturatedError", err)
+	}
+	if !sat.RateLimited() {
+		t.Errorf("RateLimited() = false, want true (reason %q)", sat.Reason)
+	}
+	if sat.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", sat.RetryAfter)
+	}
+
+	// The base client is untouched: it identifies as the default tenant and
+	// spends a different budget.
+	st2, err := c.Submit(ctx, server.SubmitRequest{
+		Log1:      server.LogPayload{Data: "A B\n"},
+		Log2:      server.LogPayload{Data: "X Y\n"},
+		Algorithm: "vertex",
+	})
+	if err != nil {
+		t.Fatalf("default-tenant submit: %v", err)
+	}
+	if st2.Tenant != "default" {
+		t.Errorf("default client tenant = %q, want default", st2.Tenant)
+	}
+}

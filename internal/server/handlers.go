@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"eventmatch/internal/server/tenant"
 )
 
 // Handler returns the daemon's HTTP handler. Routes use the Go 1.22 method
@@ -25,11 +28,28 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// handleSubmit admits a job: parse and fully validate the submission (bad
-// input never reaches a worker), then reserve a queue slot or fail fast.
+// handleSubmit admits a job: resolve the tenant, charge its rate budget
+// (over-limit floods are turned away before their body is even parsed),
+// parse and fully validate the submission (bad input never reaches a
+// worker), then reserve a slot in the tenant's queue or fail fast.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ten, err := requestTenant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	now := time.Now()
+	if ok, retryAt := s.limiter.Allow(ten, now); !ok {
+		s.rateLimited.Inc()
+		s.tenantStats(ten).rejectedRate.Inc()
+		// The hint is the limiter's earliest-admissible instant — unlike the
+		// queue-full hint it is exact, not an estimate.
+		write429(w, ErrorResponse{Error: "rate limited", Reason: ReasonRateLimited},
+			tenant.RetryAfter(now, retryAt))
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
@@ -43,19 +63,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err.Error())
 		return
 	}
+	spec.tenant = ten
 	j, err := s.submit(r.Context(), spec)
 	switch {
 	case errors.Is(err, errSaturated):
+		msg := "job queue full"
+		if errors.Is(err, errTenantSaturated) {
+			msg = "tenant queue full"
+		}
 		retry := s.retryAfter()
 		sec := int(retry.Seconds() + 0.5)
 		if sec < 1 {
 			sec = 1
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
-			Error:         "job queue full",
-			RetryAfterSec: sec,
-		})
+		write429(w, ErrorResponse{Error: msg, Reason: ReasonQueueFull}, sec)
 		return
 	case errors.Is(err, errDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
@@ -65,6 +86,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// write429 sends one rejection with its Retry-After both as a header and in
+// the JSON body.
+func write429(w http.ResponseWriter, resp ErrorResponse, retryAfterSec int) {
+	resp.RetryAfterSec = retryAfterSec
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	writeJSON(w, http.StatusTooManyRequests, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +154,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.requestCancel() {
 		s.canceled.Inc()
+		s.tenantStats(j.spec.tenant).canceled.Inc()
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
 }

@@ -20,6 +20,12 @@ type jobSpec struct {
 	algorithm eventmatch.Algorithm
 	algoName  string
 
+	// tenant is the normalized, validated tenant identity the submission
+	// arrived under. It selects the job's fair-queue lane, its rate-limit
+	// bucket and its telemetry rollup, and it is journaled so a recovered
+	// job re-enters its own tenant's queue.
+	tenant string
+
 	l1, l2 *event.Log
 	h1, h2 string // content hashes, for problem-cache keys
 
@@ -154,6 +160,7 @@ func (j *job) status() JobStatus {
 		ID:        j.id,
 		State:     j.state,
 		Algorithm: j.spec.algoName,
+		Tenant:    j.spec.tenant,
 		Created:   stamp(j.created),
 		Started:   stamp(j.started),
 		Finished:  stamp(j.finished),

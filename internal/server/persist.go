@@ -9,6 +9,7 @@ import (
 	"eventmatch/internal/event"
 	"eventmatch/internal/match"
 	"eventmatch/internal/server/store"
+	"eventmatch/internal/server/tenant"
 )
 
 // This file is the server side of the durability layer: translating the job
@@ -41,6 +42,7 @@ func (s *Server) persistSubmit(ctx context.Context, j *job) {
 	spec := j.spec
 	rec := &store.SpecRecord{
 		Algorithm:       spec.algoName,
+		Tenant:          spec.tenant,
 		Log1:            store.LogRef{Key: spec.h1, Format: spec.fmt1},
 		Log2:            store.LogRef{Key: spec.h2, Format: spec.fmt2},
 		Patterns:        spec.patterns,
@@ -192,7 +194,10 @@ func (s *Server) recoverJob(rj *store.RecoveredJob, sum *RecoverySummary) (j *jo
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j = &job{
-		spec:    jobSpec{algoName: rj.Spec.Algorithm},
+		spec: jobSpec{
+			algoName: rj.Spec.Algorithm,
+			tenant:   tenant.Normalize(rj.Spec.Tenant),
+		},
 		created: created,
 		ctx:     ctx,
 		cancel:  cancel,
@@ -283,6 +288,10 @@ func (s *Server) rebuildSpec(rj *store.RecoveredJob) (jobSpec, error) {
 	if err != nil {
 		return jobSpec{}, err
 	}
+	// The tenant is transport-level identity, not part of the submission
+	// body, so buildSpec cannot restore it — re-attach it from the record
+	// (pre-tenancy journals recover as the default tenant).
+	spec.tenant = tenant.Normalize(rj.Spec.Tenant)
 	if rj.Checkpoint != nil {
 		spec.seed = resolveSeed(rj.Checkpoint.Pairs, spec.l1, spec.l2)
 	}
@@ -319,6 +328,7 @@ func (s *Server) feedRecovered(jobs []*job) {
 			err := s.pool.submit(j)
 			if err == nil {
 				s.submitted.Inc()
+				s.tenantStats(j.spec.tenant).submitted.Inc()
 				break
 			}
 			if err == errDraining {

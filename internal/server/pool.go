@@ -2,39 +2,59 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"eventmatch/internal/server/tenant"
 )
 
-// errSaturated reports that the admission queue is full — the HTTP layer
-// turns it into 429 + Retry-After.
-var errSaturated = errors.New("server: job queue full")
+// errSaturated reports that the admission queue cannot take the job — the
+// HTTP layer turns it into 429 + Retry-After. errTenantSaturated is the
+// per-tenant flavor (the submitting tenant's own queue slice is full while
+// the aggregate queue may still have room); it wraps errSaturated so every
+// existing errors.Is check keeps working.
+var (
+	errSaturated       = errors.New("server: job queue full")
+	errTenantSaturated = fmt.Errorf("%w for tenant", errSaturated)
+)
 
 // errDraining reports that the server has stopped admitting jobs — the HTTP
 // layer turns it into 503.
 var errDraining = errors.New("server: draining")
 
-// pool is the bounded worker pool behind the admission queue. Submission is
-// strictly non-blocking: either the job lands in the buffered queue
-// immediately or the caller gets errSaturated. The accept loop never waits
-// on the matching engine.
+// pool is the bounded worker pool behind the admission queue. Admission is
+// strictly non-blocking: either the job lands in its tenant's queue
+// immediately or the caller gets errSaturated / errTenantSaturated. The
+// accept loop never waits on the matching engine.
+//
+// Scheduling is weighted-fair across tenants (tenant.FairQueue stride
+// scheduling): workers always pull from the backlogged tenant with the
+// least consumed virtual time, so one tenant's flood delays another
+// tenant's jobs by at most one stride round — never by the flood's length.
+// With a single tenant the fair queue degenerates to the former global
+// FIFO, preserving single-tenant behavior exactly.
 type pool struct {
-	queue   chan *job
+	mu       sync.Mutex
+	cond     *sync.Cond
+	fq       *tenant.FairQueue[*job] // guarded by mu
+	draining bool
+
 	wg      sync.WaitGroup
 	running atomic.Int64 // jobs currently executing (telemetry gauge)
-
-	mu       sync.Mutex
-	draining bool
 
 	run func(*job) // the job executor (Server.runJob)
 }
 
-// newPool starts workers goroutines consuming a queue of the given depth.
-func newPool(workers, depth int, run func(*job)) *pool {
+// newPool starts `workers` goroutines consuming a weighted-fair queue of
+// aggregate depth `depth` with per-tenant depth cap `perTenant` (values < 1
+// or > depth clamp to depth) and the given tenant weights (nil = all 1).
+func newPool(workers, depth, perTenant int, weights map[string]int, run func(*job)) *pool {
 	p := &pool{
-		queue: make(chan *job, depth),
-		run:   run,
+		fq:  tenant.NewFairQueue[*job](depth, perTenant, weights),
+		run: run,
 	}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -44,7 +64,16 @@ func newPool(workers, depth int, run func(*job)) *pool {
 
 func (p *pool) worker() {
 	defer p.wg.Done()
-	for j := range p.queue {
+	for {
+		p.mu.Lock()
+		for p.fq.Len() == 0 && !p.draining {
+			p.cond.Wait()
+		}
+		j, _, ok := p.fq.Pop()
+		p.mu.Unlock()
+		if !ok {
+			return // draining and the queue is fully consumed
+		}
 		if !j.start() { // canceled while queued
 			continue
 		}
@@ -54,34 +83,47 @@ func (p *pool) worker() {
 	}
 }
 
-// submit admits a job or fails fast. The mutex only serializes the
-// draining-check against drain's close(p.queue) — the select itself never
-// blocks.
+// submit admits a job into its tenant's queue or fails fast. The job's
+// tenant comes from its spec; the mutex serializes against drain and the
+// fair queue's bookkeeping — nothing here ever blocks on job execution.
 func (p *pool) submit(j *job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
 		return errDraining
 	}
-	select {
-	case p.queue <- j:
-		return nil
-	default:
+	if err := p.fq.Push(j.spec.tenant, j); err != nil {
+		if errors.Is(err, tenant.ErrTenantFull) {
+			return errTenantSaturated
+		}
 		return errSaturated
 	}
+	p.cond.Signal()
+	return nil
 }
 
-// queued reports the current queue occupancy.
-func (p *pool) queued() int { return len(p.queue) }
+// queued reports the current aggregate queue occupancy.
+func (p *pool) queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fq.Len()
+}
 
-// drain stops admission, lets the workers finish the queue, and returns once
-// every worker has exited. Safe to call once; submit returns errDraining
-// afterwards.
+// tenantQueued reports one tenant's queue occupancy (telemetry gauge).
+func (p *pool) tenantQueued(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fq.TenantLen(name)
+}
+
+// drain stops admission, lets the workers finish every tenant queue, and
+// returns once all workers have exited. Safe to call once; submit returns
+// errDraining afterwards.
 func (p *pool) drain() {
 	p.mu.Lock()
 	if !p.draining {
 		p.draining = true
-		close(p.queue)
+		p.cond.Broadcast()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()

@@ -15,8 +15,14 @@ import (
 // validation already happened at submit time, so errors here are engine
 // errors and land the job in StateFailed.
 func (s *Server) runJob(j *job) {
-	// j.started was written by j.start() on this same goroutine.
-	s.waitTimer.Observe(j.started.Sub(j.created))
+	ts := s.tenantStats(j.spec.tenant)
+	// j.started was written by j.start() on this same goroutine. The wait
+	// observation lands in the global timer and the tenant's own — the
+	// per-tenant wait distribution is the fairness evidence (a starved
+	// tenant shows up as an unbounded tail here).
+	wait := j.started.Sub(j.created)
+	s.waitTimer.Observe(wait)
+	ts.waitTimer.Observe(wait)
 	if s.testHookBeforeRun != nil {
 		s.testHookBeforeRun(j)
 	}
@@ -33,8 +39,10 @@ func (s *Server) runJob(j *job) {
 	j.finish(res, err)
 	if err != nil {
 		s.failed.Inc()
+		ts.failed.Inc()
 	} else {
 		s.completed.Inc()
+		ts.completed.Inc()
 	}
 	j.cancel() // release the job context in every terminal path
 }
@@ -113,6 +121,7 @@ func (s *Server) buildResult(j *job, m match.Mapping, st match.Stats) *JobResult
 	res := &JobResult{
 		ID:         j.id,
 		Algorithm:  spec.algoName,
+		Tenant:     spec.tenant,
 		Pairs:      namePairs(spec.l1, spec.l2, m),
 		Score:      st.Score,
 		Expanded:   st.Expanded,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eventmatch/internal/server/store"
+	"eventmatch/internal/server/tenant"
 	"eventmatch/internal/telemetry"
 )
 
@@ -17,10 +18,28 @@ type Config struct {
 	// Default 2.
 	Workers int
 
-	// QueueDepth bounds the admission queue; a submission arriving when all
-	// workers are busy and the queue holds QueueDepth jobs is rejected with
-	// 429. Default 8.
+	// QueueDepth bounds the aggregate admission queue across all tenants; a
+	// submission arriving when all workers are busy and the queue holds
+	// QueueDepth jobs is rejected with 429. Default 8.
 	QueueDepth int
+
+	// TenantQueueDepth caps one tenant's share of the admission queue, so a
+	// single tenant's backlog can never occupy the whole queue. Zero (or any
+	// value outside [1, QueueDepth]) selects QueueDepth — with only the
+	// default tenant that reproduces the pre-tenancy global FIFO exactly.
+	TenantQueueDepth int
+
+	// TenantWeights sets per-tenant scheduling weights for the weighted-fair
+	// queue (unlisted tenants weigh 1). Under sustained backlog, tenants are
+	// served in proportion to their weights.
+	TenantWeights map[string]int
+
+	// TenantRates configures the per-tenant multi-window rate limiter
+	// (window → admissions per window, every window enforced independently,
+	// e.g. {time.Second: 10, time.Minute: 200}). Over-limit submissions are
+	// rejected with 429 and a limiter-derived Retry-After. Nil disables rate
+	// limiting.
+	TenantRates tenant.Rates
 
 	// DefaultDeadline is the per-job search wall-clock cap applied when a
 	// submission does not choose one. Default 30s.
@@ -76,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
 	}
+	if c.TenantQueueDepth <= 0 || c.TenantQueueDepth > c.QueueDepth {
+		c.TenantQueueDepth = c.QueueDepth
+	}
 	if c.DefaultDeadline <= 0 {
 		c.DefaultDeadline = 30 * time.Second
 	}
@@ -114,6 +136,16 @@ type Server struct {
 	logs *logCache
 	prs  *problemCache
 
+	// limiter is the per-tenant multi-window rate limiter; nil when no
+	// TenantRates were configured (every submission admitted).
+	limiter *tenant.Limiter
+
+	// tenants lazily materializes per-tenant telemetry rollups
+	// (server.tenant.<name>.*); tenantsMu guards the map, the counters
+	// themselves are atomic.
+	tenantsMu sync.Mutex
+	tenants   map[string]*tenantStats
+
 	// baseCtx parents every job context; baseCancel is the shutdown
 	// force-cancel that makes in-flight searches checkpoint.
 	baseCtx    context.Context
@@ -136,8 +168,8 @@ type Server struct {
 	persistErrs *telemetry.Counter
 	ckptDrops   *telemetry.Counter
 
-	submitted, completed, failed, canceled, rejected *telemetry.Counter
-	waitTimer, runTimer                              *telemetry.Timer
+	submitted, completed, failed, canceled, rejected, rateLimited *telemetry.Counter
+	waitTimer, runTimer                                           *telemetry.Timer
 
 	// testHookBeforeRun, when non-nil, runs on the worker goroutine after a
 	// job transitions to running and before the engine executes it. Tests
@@ -156,13 +188,17 @@ func New(cfg Config) *Server {
 		logs: newLogCache(cfg.MaxCachedLogs, cfg.Telemetry),
 		prs:  newProblemCache(cfg.MaxCachedProblems, cfg.Telemetry),
 
-		submitted: cfg.Telemetry.Counter("server.jobs_submitted"),
-		completed: cfg.Telemetry.Counter("server.jobs_completed"),
-		failed:    cfg.Telemetry.Counter("server.jobs_failed"),
-		canceled:  cfg.Telemetry.Counter("server.jobs_canceled"),
-		rejected:  cfg.Telemetry.Counter("server.jobs_rejected"),
-		waitTimer: cfg.Telemetry.Timer("server.job_wait"),
-		runTimer:  cfg.Telemetry.Timer("server.job_run"),
+		limiter: tenant.NewLimiter(cfg.TenantRates),
+		tenants: make(map[string]*tenantStats),
+
+		submitted:   cfg.Telemetry.Counter("server.jobs_submitted"),
+		completed:   cfg.Telemetry.Counter("server.jobs_completed"),
+		failed:      cfg.Telemetry.Counter("server.jobs_failed"),
+		canceled:    cfg.Telemetry.Counter("server.jobs_canceled"),
+		rejected:    cfg.Telemetry.Counter("server.jobs_rejected"),
+		rateLimited: cfg.Telemetry.Counter("server.jobs_rate_limited"),
+		waitTimer:   cfg.Telemetry.Timer("server.job_wait"),
+		runTimer:    cfg.Telemetry.Timer("server.job_run"),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.Store != nil {
@@ -174,9 +210,10 @@ func New(cfg Config) *Server {
 		s.ckptdone = make(chan struct{})
 		go s.checkpointWriter()
 	}
-	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.TenantQueueDepth, cfg.TenantWeights, s.runJob)
 	s.reg.RegisterFunc("server.queue_depth", func() int64 { return int64(s.pool.queued()) })
 	s.reg.RegisterFunc("server.queue_capacity", func() int64 { return int64(cfg.QueueDepth) })
+	s.reg.RegisterFunc("server.tenant_queue_capacity", func() int64 { return int64(cfg.TenantQueueDepth) })
 	s.reg.RegisterFunc("server.workers", func() int64 { return int64(cfg.Workers) })
 	s.reg.RegisterFunc("server.jobs_running", func() int64 { return s.pool.running.Load() })
 	s.reg.RegisterFunc("server.jobs_stored", func() int64 { return int64(s.jobs.len()) })
@@ -194,6 +231,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // persist (the caller's HTTP request context); job execution itself runs
 // under the server's base context.
 func (s *Server) submit(reqCtx context.Context, spec jobSpec) (*job, error) {
+	// Callers that bypass the HTTP layer (tests, recovery of pre-tenancy
+	// journals) may leave the tenant empty; they account to the default
+	// tenant like any other unidentified traffic.
+	spec.tenant = tenant.Normalize(spec.tenant)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
 		spec:    spec,
@@ -211,6 +252,7 @@ func (s *Server) submit(reqCtx context.Context, spec jobSpec) (*job, error) {
 	j.persist = s.statePersister(j.id)
 	if err := s.pool.submit(j); err != nil {
 		s.rejected.Inc()
+		s.tenantStats(spec.tenant).rejectedQueue.Inc()
 		cancel()
 		// The job never ran; mark it terminal so the store can evict it.
 		j.mu.Lock()
@@ -224,6 +266,7 @@ func (s *Server) submit(reqCtx context.Context, spec jobSpec) (*job, error) {
 		return nil, err
 	}
 	s.submitted.Inc()
+	s.tenantStats(spec.tenant).submitted.Inc()
 	return j, nil
 }
 

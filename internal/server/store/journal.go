@@ -64,6 +64,11 @@ type SpecRecord struct {
 	Log1      LogRef `json:"log1"`
 	Log2      LogRef `json:"log2"`
 
+	// Tenant is the tenant identity the job was submitted under; recovery
+	// re-enqueues the job into this tenant's queue. Empty (pre-tenancy
+	// journals) recovers as the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+
 	Patterns []string          `json:"patterns,omitempty"`
 	Truth    map[string]string `json:"truth,omitempty"`
 

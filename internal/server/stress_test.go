@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -141,5 +142,177 @@ func TestPoolStress(t *testing.T) {
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestTenantPoolStress is the multi-tenant counterpart of TestPoolStress:
+// several tenants flood the daemon concurrently through the real HTTP surface
+// (X-Tenant headers, per-tenant queue caps, a permissive rate limiter so the
+// limiter's lock is exercised too), cancellers race the submitters, and a
+// drain fires mid-flood. The invariants: every admitted job reaches exactly
+// one terminal state, per-tenant submitted counters sum to the global one,
+// and the drain terminates cleanly with the flood still incoming.
+func TestTenantPoolStress(t *testing.T) {
+	tenants := []string{"red", "green", "blue"}
+	s := New(Config{
+		Workers:          3,
+		QueueDepth:       9,
+		TenantQueueDepth: 4,
+		TenantWeights:    map[string]int{"red": 3, "green": 1},
+		TenantRates:      map[time.Duration]int{time.Second: 10000},
+		DefaultDeadline:  5 * time.Second,
+		MaxStoredJobs:    4096, // keep every job observable for the final audit
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SubmitRequest{
+		Log1:      LogPayload{Data: "A B C\nA C B\n"},
+		Log2:      LogPayload{Data: "X Y Z\nX Z Y\n"},
+		Patterns:  []string{"SEQ(A,B)"},
+		Algorithm: "heuristic-advanced",
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		perTenant     = 2 // submitter goroutines per tenant
+		perSubmitter  = 10
+		cancelWorkers = 2
+		drainAfter    = 25 // admitted jobs before the mid-flood drain fires
+	)
+	var (
+		mu       sync.Mutex
+		admitted []string
+	)
+	var admittedN atomic.Int64
+	ids := make(chan string, len(tenants)*perTenant*perSubmitter)
+	drainStarted := make(chan struct{})
+	drainDone := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for _, ten := range tenants {
+		for g := 0; g < perTenant; g++ {
+			wg.Add(1)
+			go func(ten string) {
+				defer wg.Done()
+				for i := 0; i < perSubmitter; i++ {
+					hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/jobs", bytes.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					hreq.Header.Set("Content-Type", "application/json")
+					hreq.Header.Set("X-Tenant", ten)
+					resp, err := http.DefaultClient.Do(hreq)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						var st JobStatus
+						if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+							t.Error(err)
+						}
+						if st.Tenant != ten {
+							t.Errorf("job %s: tenant = %q, want %q", st.ID, st.Tenant, ten)
+						}
+						mu.Lock()
+						admitted = append(admitted, st.ID)
+						mu.Unlock()
+						ids <- st.ID
+						if admittedN.Add(1) == drainAfter {
+							close(drainStarted)
+						}
+					case http.StatusTooManyRequests:
+						time.Sleep(2 * time.Millisecond)
+					case http.StatusServiceUnavailable:
+						// The mid-flood drain closed admission; stop submitting.
+						resp.Body.Close()
+						return
+					default:
+						t.Errorf("submit: HTTP %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+			}(ten)
+		}
+	}
+	var cwg sync.WaitGroup
+	for g := 0; g < cancelWorkers; g++ {
+		cwg.Add(1)
+		go func(seed int64) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for id := range ids {
+				if rng.Intn(2) == 0 {
+					resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					resp.Body.Close()
+				}
+			}
+		}(int64(g))
+	}
+
+	// Drain mid-flood: once enough jobs are in, shut down while submitters
+	// and cancellers are still hammering the API.
+	go func() {
+		defer close(drainDone)
+		select {
+		case <-drainStarted:
+		case <-time.After(10 * time.Second):
+			// The flood ended before reaching drainAfter admissions (queue
+			// rejections ate the rest); drain anyway so the test completes.
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("mid-flood shutdown: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	close(ids)
+	cwg.Wait()
+	<-drainDone
+
+	// After the drain every admitted job must already sit in exactly one
+	// terminal state — queued ones ran or were canceled, none got lost.
+	for _, id := range admitted {
+		j, ok := s.jobs.get(id)
+		if !ok {
+			t.Fatalf("admitted job %s vanished (store cap too small?)", id)
+		}
+		st := j.status()
+		if !st.State.Terminal() {
+			t.Errorf("job %s non-terminal after drain: %s", id, st.State)
+		}
+		if st.State == StateFailed {
+			t.Errorf("job %s failed: %s", id, st.Error)
+		}
+	}
+
+	// Per-tenant accounting must tile the global counters exactly.
+	snap := s.Telemetry().Snapshot()
+	sub := snap.Counter("server.jobs_submitted")
+	if sub != int64(len(admitted)) {
+		t.Errorf("jobs_submitted = %d, admitted %d", sub, len(admitted))
+	}
+	var perTenantSum int64
+	for _, ten := range tenants {
+		perTenantSum += snap.Counter("server.tenant." + ten + ".submitted")
+	}
+	if perTenantSum != sub {
+		t.Errorf("sum of per-tenant submitted = %d, global %d", perTenantSum, sub)
+	}
+	done := snap.Counter("server.jobs_completed") + snap.Counter("server.jobs_failed")
+	if done > sub {
+		t.Errorf("completed+failed = %d exceeds submitted %d", done, sub)
 	}
 }

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// submitAs is submitJSON with a tenant identity attached via X-Tenant.
+func submitAs(t *testing.T, ts *httptest.Server, ten string, req SubmitRequest) (*http.Response, JobStatus, ErrorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if ten != "" {
+		hreq.Header.Set("X-Tenant", ten)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	var er ErrorResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+	}
+	return resp, st, er
+}
+
+// TestSubmitRateLimited drives one tenant over a 2-per-second budget and
+// checks the rejection contract: HTTP 429 tagged rate_limited, a
+// limiter-derived Retry-After in header and body, budgets charged per tenant
+// (a second tenant still gets in), and the rejection visible in both the
+// global and the per-tenant counters.
+func TestSubmitRateLimited(t *testing.T) {
+	s, ts := testServer(t, func(c *Config) {
+		c.TenantRates = map[time.Duration]int{time.Second: 2}
+	})
+	req := fig1Request(t, "heuristic-advanced")
+
+	for i := 0; i < 2; i++ {
+		resp, st, _ := submitAs(t, ts, "alpha", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d, want 202", i+1, resp.StatusCode)
+		}
+		if st.Tenant != "alpha" {
+			t.Errorf("submit %d: tenant = %q, want alpha", i+1, st.Tenant)
+		}
+	}
+
+	resp, _, er := submitAs(t, ts, "alpha", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if er.Reason != ReasonRateLimited {
+		t.Errorf("reason = %q, want %q", er.Reason, ReasonRateLimited)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 2 {
+		t.Errorf("Retry-After = %q, want an integer in [1,2]", resp.Header.Get("Retry-After"))
+	}
+	if er.RetryAfterSec != ra {
+		t.Errorf("body retry_after_sec = %d, header %d", er.RetryAfterSec, ra)
+	}
+
+	// The budget is per tenant: beta is untouched by alpha's flood.
+	if resp, _, _ := submitAs(t, ts, "beta", req); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("beta submit during alpha flood: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	snap := s.Telemetry().Snapshot()
+	if got := snap.Counter("server.jobs_rate_limited"); got != 1 {
+		t.Errorf("server.jobs_rate_limited = %d, want 1", got)
+	}
+	if got := snap.Counter("server.tenant.alpha.rejected_rate"); got != 1 {
+		t.Errorf("server.tenant.alpha.rejected_rate = %d, want 1", got)
+	}
+	if got := snap.Counter("server.tenant.beta.rejected_rate"); got != 0 {
+		t.Errorf("server.tenant.beta.rejected_rate = %d, want 0", got)
+	}
+}
+
+// TestSubmitTenantIdentity covers the identity plumbing: the query-parameter
+// fallback, the default tenant for anonymous traffic, and the 400 on names
+// that would not survive as telemetry segments.
+func TestSubmitTenantIdentity(t *testing.T) {
+	_, ts := testServer(t, nil)
+	req := fig1Request(t, "heuristic-advanced")
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("query fallback", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs?tenant=team-a", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted || st.Tenant != "team-a" {
+			t.Errorf("HTTP %d tenant %q, want 202 team-a", resp.StatusCode, st.Tenant)
+		}
+	})
+
+	t.Run("header beats query", func(t *testing.T) {
+		hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/jobs?tenant=query-t", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Tenant", "header-t")
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Tenant != "header-t" {
+			t.Errorf("tenant = %q, want header-t", st.Tenant)
+		}
+	})
+
+	t.Run("anonymous is default", func(t *testing.T) {
+		resp, st, _ := submitAs(t, ts, "", req)
+		if resp.StatusCode != http.StatusAccepted || st.Tenant != "default" {
+			t.Errorf("HTTP %d tenant %q, want 202 default", resp.StatusCode, st.Tenant)
+		}
+	})
+
+	t.Run("invalid name rejected", func(t *testing.T) {
+		for _, bad := range []string{"has space", "semi;colon", "x/y", strings.Repeat("a", 65)} {
+			resp, _, _ := submitAs(t, ts, bad, req)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("tenant %q: HTTP %d, want 400", bad, resp.StatusCode)
+			}
+		}
+	})
+}
+
+// TestTenantQueueCap holds the single worker and fills tenant alpha's queue
+// slice; alpha's next submission must bounce with 429/queue_full while beta —
+// sharing the same aggregate queue — still has room.
+func TestTenantQueueCap(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s, ts := testServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 4
+		c.TenantQueueDepth = 1
+	})
+	s.testHookBeforeRun = func(j *job) {
+		select {
+		case <-release:
+		case <-j.ctx.Done():
+		}
+	}
+	defer once.Do(func() { close(release) })
+
+	req := fig1Request(t, "heuristic-advanced")
+	resp1, st1, _ := submitAs(t, ts, "alpha", req) // occupies the worker
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d", resp1.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, ts.URL+"/api/v1/jobs/"+st1.ID, &st)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if resp, _, _ := submitAs(t, ts, "alpha", req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2 (fills alpha's slice): HTTP %d", resp.StatusCode)
+	}
+	resp3, _, er := submitAs(t, ts, "alpha", req)
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit 3: HTTP %d, want 429", resp3.StatusCode)
+	}
+	if er.Reason != ReasonQueueFull {
+		t.Errorf("reason = %q, want %q", er.Reason, ReasonQueueFull)
+	}
+	if er.Error != "tenant queue full" {
+		t.Errorf("error = %q, want \"tenant queue full\"", er.Error)
+	}
+	if resp3.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	// The aggregate queue still has slots: beta is admitted.
+	if resp, _, _ := submitAs(t, ts, "beta", req); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("beta submit with alpha saturated: HTTP %d, want 202", resp.StatusCode)
+	}
+
+	snap := s.Telemetry().Snapshot()
+	if got := snap.Counter("server.tenant.alpha.rejected_queue"); got != 1 {
+		t.Errorf("server.tenant.alpha.rejected_queue = %d, want 1", got)
+	}
+	if got := snap.Gauge("server.tenant.alpha.queued"); got != 1 {
+		t.Errorf("server.tenant.alpha.queued = %d, want 1", got)
+	}
+	if got := snap.Gauge("server.tenant_queue_capacity"); got != 1 {
+		t.Errorf("server.tenant_queue_capacity = %d, want 1", got)
+	}
+
+	once.Do(func() { close(release) })
+}
+
+// TestTenantLifecycleRollup runs one job to completion and one to
+// cancellation under distinct tenants and checks the per-tenant counters and
+// the result's tenant attribution.
+func TestTenantLifecycleRollup(t *testing.T) {
+	s, ts := testServer(t, nil)
+	req := fig1Request(t, "heuristic-advanced")
+
+	resp, st, _ := submitAs(t, ts, "good", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateDone {
+		t.Fatalf("job finished %s, want done", fin.State)
+	}
+	var res JobResult
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if res.Tenant != "good" {
+		t.Errorf("result tenant = %q, want good", res.Tenant)
+	}
+
+	snap := s.Telemetry().Snapshot()
+	if got := snap.Counter("server.tenant.good.submitted"); got != 1 {
+		t.Errorf("server.tenant.good.submitted = %d, want 1", got)
+	}
+	if got := snap.Counter("server.tenant.good.completed"); got != 1 {
+		t.Errorf("server.tenant.good.completed = %d, want 1", got)
+	}
+}
