@@ -13,42 +13,85 @@
 //	file:line:col: [analyzer] message
 //
 // and can be suppressed at intentional sites with a
-// `//matchlint:ignore <analyzer> <reason>` comment on or above the line.
+// `//matchlint:ignore <analyzer> -- <reason>` comment on or above the line.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"eventmatch/internal/analysis"
+	"eventmatch/internal/analysis/condprotocol"
 	"eventmatch/internal/analysis/ctxpass"
+	"eventmatch/internal/analysis/fsyncorder"
 	"eventmatch/internal/analysis/intmerge"
 	"eventmatch/internal/analysis/kindswitch"
+	"eventmatch/internal/analysis/lockheld"
+	"eventmatch/internal/analysis/lockorder"
 	"eventmatch/internal/analysis/mapiter"
 	"eventmatch/internal/analysis/telemetrynil"
 )
 
 // analyzers is the full suite, one per machine-checked invariant.
 var analyzers = []*analysis.Analyzer{
+	condprotocol.Analyzer,
 	ctxpass.Analyzer,
+	fsyncorder.Analyzer,
 	intmerge.Analyzer,
 	kindswitch.Analyzer,
+	lockheld.Analyzer,
+	lockorder.Analyzer,
 	mapiter.Analyzer,
 	telemetrynil.Analyzer,
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// emit writes the findings to stdout, one `file:line:col: [analyzer] message`
+// line each, or as a JSON array when asJSON is set.
+func emit(diags []analysis.Diagnostic, asJSON bool, stdout io.Writer) error {
+	if !asJSON {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s\n", d)
+		}
+		return nil
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("matchlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: matchlint [-list] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: matchlint [-list] [-json] [packages]\n\n"+
 			"Runs the repository's invariant analyzers over the given package\n"+
 			"patterns (default ./...).\n\n")
 		fs.PrintDefaults()
@@ -71,8 +114,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "matchlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s\n", d)
+	if err := emit(diags, *jsonOut, stdout); err != nil {
+		fmt.Fprintf(stderr, "matchlint: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "matchlint: %d finding(s)\n", len(diags))

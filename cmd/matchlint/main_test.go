@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"eventmatch/internal/analysis"
 )
 
 func TestRunList(t *testing.T) {
@@ -11,7 +15,10 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, stderr.String())
 	}
-	for _, name := range []string{"ctxpass", "intmerge", "kindswitch", "mapiter", "telemetrynil"} {
+	for _, name := range []string{
+		"condprotocol", "ctxpass", "fsyncorder", "intmerge", "kindswitch",
+		"lockheld", "lockorder", "mapiter", "telemetrynil",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -41,6 +48,53 @@ func TestRunServerPackageClean(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("server packages produced findings:\n%s", stdout.String())
+	}
+}
+
+func TestRunJSONClean(t *testing.T) {
+	// A clean package under -json must emit an empty array, not null — CI
+	// consumers index into the result without nil checks.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "eventmatch/internal/event"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-json) = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+			Analyzer: "lockheld",
+			Message:  "call to os.WriteFile while holding s.mu",
+		},
+		{
+			Pos:      token.Position{Filename: "c.go", Line: 7, Column: 1},
+			Analyzer: "fsyncorder",
+			Message:  "no SyncDir after this Rename",
+		},
+	}
+	var buf bytes.Buffer
+	if err := emit(diags, true, &buf); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	var got []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emit produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	want := []jsonDiag{
+		{File: "a/b.go", Line: 12, Col: 3, Analyzer: "lockheld", Message: "call to os.WriteFile while holding s.mu"},
+		{File: "c.go", Line: 7, Col: 1, Analyzer: "fsyncorder", Message: "no SyncDir after this Rename"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emit returned %d diags, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d = %+v, want %+v", i, got[i], want[i])
+		}
 	}
 }
 

@@ -16,10 +16,12 @@
 // context.Background is intentional with a directive comment on the flagged
 // line or the line above it:
 //
-//	//matchlint:ignore mapiter random eviction victim is intentional
+//	//matchlint:ignore mapiter -- random eviction victim is intentional
 //
-// The directive names one analyzer (or a comma-separated list); an ignore
-// without a matching diagnostic is harmless.
+// The directive names one analyzer (or a comma-separated list) and must
+// carry a reason after the ` -- ` separator; a reason-less directive is
+// itself reported and suppresses nothing (see ignore.go). An ignore without
+// a matching diagnostic is harmless.
 package analysis
 
 import (
@@ -32,7 +34,9 @@ import (
 
 // Analyzer describes one invariant check. Unlike the x/tools original there
 // are no facts, dependencies or flags — every analyzer is a pure function of
-// a single type-checked package.
+// a single type-checked package (Run) or of the whole loaded package set
+// (RunModule, for cross-package invariants like lock ordering). Exactly one
+// of the two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	// By convention a short lowercase word ("mapiter").
@@ -46,6 +50,11 @@ type Analyzer struct {
 	// pass.Reportf. A non-nil error aborts the whole run (reserved for
 	// internal failures, not findings).
 	Run func(pass *Pass) error
+
+	// RunModule, when set instead of Run, is invoked once with every loaded
+	// package. Module analyzers see the whole dependency slice at once —
+	// the lockorder analyzer builds its acquisition graph here.
+	RunModule func(pass *ModulePass) error
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -68,6 +77,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries the whole loaded package set through one module-scope
+// analyzer. Every package shares one FileSet (both loaders guarantee this),
+// so Reportf can position any pos from any package.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one finding of one analyzer.
 type Diagnostic struct {
 	Pos      token.Position
@@ -79,14 +108,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// runAnalyzers applies every analyzer to every package and returns the
-// surviving (non-ignored) diagnostics in file/line/column order.
-func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunPackages applies every analyzer — per-package and module-scope alike —
+// to the already-loaded packages and returns the surviving (non-ignored)
+// diagnostics in file/line/column order, with one malformed-directive
+// diagnostic per reason-less ignore.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	igns := make([]*ignoreSet, len(pkgs))
+	for i, pkg := range pkgs {
+		igns[i] = collectIgnores(pkg.Fset, pkg.Files)
+	}
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ign := collectIgnores(pkg.Fset, pkg.Files)
+	for i, pkg := range pkgs {
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -99,8 +137,40 @@ func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = append(diags, ign.filter(pkgDiags)...)
+		diags = append(diags, igns[i].filter(pkgDiags)...)
 	}
+
+	if len(pkgs) > 0 {
+		var modDiags []Diagnostic
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			pass := &ModulePass{
+				Analyzer: a,
+				Fset:     pkgs[0].Fset,
+				Pkgs:     pkgs,
+				diags:    &modDiags,
+			}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+		}
+	next:
+		for _, d := range modDiags {
+			for _, ign := range igns {
+				if ign.ignored(d) {
+					continue next
+				}
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	for _, ign := range igns {
+		diags = append(diags, ign.malformed...)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -125,7 +195,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	if err != nil {
 		return nil, err
 	}
-	return runAnalyzers(pkgs, analyzers)
+	return RunPackages(pkgs, analyzers)
 }
 
 // PkgPathHas reports whether pkgPath contains want as a contiguous run of
@@ -170,9 +240,10 @@ func splitPath(p string) []string {
 }
 
 // RunSingle applies one analyzer to one already type-checked package,
-// honoring ignore directives. It exists for the analysistest fixture runner.
+// honoring ignore directives. It exists for the analysistest fixture runner
+// and white-box tests.
 func RunSingle(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
-	return runAnalyzers([]*Package{{
+	return RunPackages([]*Package{{
 		Path:  pkg.Path(),
 		Fset:  fset,
 		Files: files,

@@ -61,20 +61,25 @@ func checkString(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.
 }
 
 // TestIgnoreDirectives verifies that //matchlint:ignore suppresses findings
-// on its own line and the next line, for the named analyzers only.
+// on its own line and the next line, for the named analyzers only, and that
+// a directive without the required `-- reason` suppresses nothing and is
+// itself reported.
 func TestIgnoreDirectives(t *testing.T) {
 	const src = `package p
 
 func a() {}
 
-//matchlint:ignore probe intentional
+//matchlint:ignore probe -- intentional
 func b() {}
 
-//matchlint:ignore other,probe multi-analyzer directive
+//matchlint:ignore other,probe -- multi-analyzer directive
 func c() {}
 
-//matchlint:ignore other different analyzer
+//matchlint:ignore other -- different analyzer
 func d() {}
+
+//matchlint:ignore probe
+func e() {}
 `
 	probe := &Analyzer{
 		Name: "probe",
@@ -97,9 +102,14 @@ func d() {}
 	}
 	var got []string
 	for _, d := range diags {
-		got = append(got, d.Message)
+		got = append(got, d.Analyzer+":"+d.Message)
 	}
-	want := []string{"func a", "func d"}
+	want := []string{
+		"probe:func a",
+		"probe:func d",
+		"ignore:matchlint:ignore directive requires a reason: //matchlint:ignore <analyzers> -- <reason>",
+		"probe:func e",
+	}
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("surviving diagnostics = %v, want %v", got, want)
 	}

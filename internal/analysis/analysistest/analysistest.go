@@ -42,13 +42,16 @@ type expectation struct {
 // Run applies the analyzer to the fixture packages rooted at dir/src and
 // verifies its diagnostics against the // want annotations. pkgPaths are the
 // fixture packages' import paths (subdirectories of dir/src), listed in
-// dependency order — earlier packages are importable by later ones.
+// dependency order — earlier packages are importable by later ones. All the
+// packages are checked into one shared FileSet and handed to the runner in a
+// single call, so module-scope analyzers (Analyzer.RunModule) see the whole
+// fixture set at once — exactly how a real run over ./... behaves.
 func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgPaths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
 	deps := map[string]*types.Package{}
 	var expectations []*expectation
-	var diags []analysis.Diagnostic
+	var pkgs []*analysis.Package
 
 	for _, pkgPath := range pkgPaths {
 		pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
@@ -81,11 +84,17 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string, pkgPaths ...string) {
 			t.Fatalf("%v", err)
 		}
 		deps[pkgPath] = tpkg
-		ds, err := analysis.RunSingle(a, fset, files, tpkg, info)
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
-		}
-		diags = append(diags, ds...)
+		pkgs = append(pkgs, &analysis.Package{
+			Path:  pkgPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	diags, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
 	// Match every diagnostic to an expectation on its line.

@@ -64,5 +64,5 @@ func TestRunFixture(t *testing.T) {
 			return nil
 		},
 	}
-	Run(t, probe, "testdata", "example")
+	Run(t, probe, "testdata", "example", "bareignore")
 }

@@ -1,0 +1,7 @@
+// Fixture for the required-reason rule: a directive without `-- reason` is
+// reported as malformed and suppresses nothing, so the probe finding on the
+// next line survives too.
+package bareignore
+
+//matchlint:ignore probe // want `requires a reason`
+func bad() {} // want `function bad`

@@ -6,5 +6,5 @@ func bad() {} // want `function bad`
 
 func good() {}
 
-//matchlint:ignore probe deliberately ugly
+//matchlint:ignore probe -- deliberately ugly
 func ugly() {}

@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the intra-procedural control-flow layer under the concurrency
+// and durability analyzers (lockheld, condprotocol, lockorder, fsyncorder).
+// It lowers one function body into basic blocks of *atomic* nodes — simple
+// statements and the expressions a structured statement evaluates at its
+// head — connected by the edges the Go control structures induce. The
+// dataflow driver in dataflow.go then iterates forward analyses (held-lock
+// sets, file-state lattices) to a fixpoint over this graph.
+//
+// The lowering is deliberately sized for linting, not compilation:
+//
+//   - Composite statements never appear in blocks; only their evaluated
+//     parts do. An *ast.IfStmt contributes its Init and Cond, a switch its
+//     Init and Tag, a range statement its RangeStmt node standing for the
+//     evaluation of X (see the atomic-node contract below).
+//   - panics and runtime faults induce no edges; defer bodies run at return
+//     and are kept out of the statement flow (analyzers see the *ast.DeferStmt
+//     node itself and may inspect it, but its call executes at exit).
+//   - Function literals are opaque: their bodies are separate functions with
+//     their own CFGs (see FuncBodies), and VisitAtomic never descends into
+//     them.
+//
+// Atomic-node contract — a block's Nodes slice may contain:
+//
+//   - simple statements (assign, expr, send, inc/dec, decl, go, defer,
+//     return, empty) appearing verbatim;
+//   - bare expressions: an if/for condition, a switch tag;
+//   - three opaque markers that stand for an evaluation point without
+//     embedding the statement's sub-blocks: *ast.RangeStmt (the range
+//     header — only X is evaluated there), *ast.SelectStmt (the blocking
+//     select point — clause bodies get their own blocks), and *ast.LabeledStmt
+//     never appears (its inner statement is lowered in place).
+//
+// Analyzers should walk block nodes with VisitAtomic, which applies exactly
+// this contract.
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks holds every basic block in creation order; Blocks[i].Index == i.
+	Blocks []*Block
+	// Entry is the block control enters first.
+	Entry *Block
+	// Exit is the synthetic block every return (and the fall-off end of the
+	// body) feeds into. It holds no nodes.
+	Exit *Block
+}
+
+// Block is one basic block: a maximal straight-line run of atomic nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// NewCFG lowers one function body. body may be nil (declared-only
+// functions); the result then has an empty entry wired to exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*cfgLabel{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	return b.cfg
+}
+
+// FuncBodies collects every function body in a file — declarations and
+// function literals alike — in source order. Each entry deserves its own
+// CFG: a literal's body does not execute where it appears.
+func FuncBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// VisitAtomic walks one block node under the atomic-node contract: pre-order
+// over the node's evaluated subtree, never descending into function literals,
+// never descending into the clause bodies hidden behind a RangeStmt or
+// SelectStmt marker, and treating go/defer arguments as part of the node
+// (their calls are visible; whether they execute "here" is the analyzer's
+// call). fn returning false prunes the walk below that node.
+func VisitAtomic(n ast.Node, fn func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// Range header marker: only X is evaluated at this point.
+		if !fn(n) {
+			return
+		}
+		VisitAtomic(n.X, fn)
+	case *ast.SelectStmt:
+		// Blocking-point marker: the clauses live in their own blocks.
+		fn(n)
+	default:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+			return fn(m)
+		})
+	}
+}
+
+// cfgLabel records the targets a label can name.
+type cfgLabel struct {
+	target     *Block // goto / fall-into target (start of the labeled stmt)
+	breakTo    *Block // `break label` target; nil until the labeled loop/switch builds
+	continueTo *Block // `continue label` target; nil unless labeling a loop
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block // nil while the current point is unreachable
+
+	breaks    []*Block // innermost-last break targets (loops, switches, selects)
+	continues []*Block // innermost-last continue targets (loops)
+
+	labels map[string]*cfgLabel
+	// pendingLabel is the label naming the statement being lowered next, so
+	// a labeled loop can register its break/continue targets.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(preds ...*Block) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	for _, p := range preds {
+		if p != nil {
+			b.edge(p, blk)
+		}
+	}
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block, materializing a fresh
+// (unreachable) block when control cannot get here.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// label returns (creating on first reference) the record for a label name,
+// so forward gotos resolve.
+func (b *cfgBuilder) label(name string) *cfgLabel {
+	l := b.labels[name]
+	if l == nil {
+		l = &cfgLabel{target: b.newBlock()}
+		b.labels[name] = l
+	}
+	return l
+}
+
+// takeLabel consumes a pending label for the loop/switch being built.
+func (b *cfgBuilder) takeLabel() *cfgLabel {
+	if b.pendingLabel == "" {
+		return nil
+	}
+	l := b.labels[b.pendingLabel]
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(breakTo, continueTo *Block, l *cfgLabel) {
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	if l != nil {
+		l.breakTo, l.continueTo = breakTo, continueTo
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.LabeledStmt:
+		l := b.label(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, l.target)
+		}
+		b.cur = l.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock(cond)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			els := b.newBlock(cond)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if hasElse {
+			if elseEnd != nil {
+				b.edge(elseEnd, join)
+			}
+		} else if cond != nil {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		l := b.takeLabel()
+		b.add(s.Init)
+		head := b.newBlock(b.cur)
+		b.cur = head
+		b.add(s.Cond)
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := b.newBlock()
+		b.pushLoop(after, post, l)
+		body := b.newBlock(head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.popLoop()
+		b.cur = post
+		b.add(s.Post)
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		l := b.takeLabel()
+		head := b.newBlock(b.cur)
+		b.cur = head
+		b.add(s) // range-header marker: X is evaluated here (VisitAtomic)
+		after := b.newBlock(head)
+		b.pushLoop(after, head, l)
+		body := b.newBlock(head)
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchClauses(s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchClauses(s.Body, false)
+
+	case *ast.SelectStmt:
+		b.add(s) // blocking-point marker
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, nil)
+		if l := b.takeLabel(); l != nil {
+			l.breakTo = after
+		}
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock(head)
+			b.cur = blk
+			b.add(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.popLoop()
+		if len(s.Body.List) == 0 {
+			// `select {}` blocks forever: after is unreachable.
+			_ = head
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.cfg.Exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			t := b.branchTarget(s, b.breaks, func(l *cfgLabel) *Block { return l.breakTo })
+			if t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			t := b.branchTarget(s, b.continues, func(l *cfgLabel) *Block { return l.continueTo })
+			if t != nil && b.cur != nil {
+				b.edge(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				t := b.label(s.Label.Name).target
+				if b.cur != nil {
+					b.edge(b.cur, t)
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchClauses (it inspects the last
+			// statement of each clause body); nothing to do here.
+		}
+
+	default:
+		// Simple statements: assign, expr, send, inc/dec, decl, go, defer,
+		// empty. All atomic.
+		b.add(s)
+	}
+}
+
+// branchTarget resolves a break/continue to its block: labeled branches go
+// through the label table, bare ones to the innermost enclosing target.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, stack []*Block, sel func(*cfgLabel) *Block) *Block {
+	if s.Label != nil {
+		if l := b.labels[s.Label.Name]; l != nil {
+			return sel(l)
+		}
+		return nil
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] != nil {
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// switchClauses lowers the case clauses of a (type) switch. head is the
+// current block (holding init/tag); each clause becomes its own block hung
+// off head; fallthrough chains a clause's end to the next clause's start.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.breaks = append(b.breaks, after)
+	b.continues = append(b.continues, nil)
+	if l := b.takeLabel(); l != nil {
+		l.breakTo = after
+	}
+	clauses := body.List
+	starts := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		starts[i] = b.newBlock(head)
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = starts[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = i+1 < len(clauses)
+				stmts = stmts[:len(stmts)-1]
+			}
+		}
+		for _, st := range stmts {
+			b.stmt(st)
+		}
+		if b.cur != nil {
+			if fallsThrough {
+				b.edge(b.cur, starts[i+1])
+			} else {
+				b.edge(b.cur, after)
+			}
+		}
+	}
+	if !hasDefault && head != nil {
+		b.edge(head, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	b.cur = after
+}

@@ -1,0 +1,160 @@
+// Package condprotocol enforces the sync.Cond usage protocol that keeps the
+// worker pool's sleep/wake cycle sound:
+//
+//   - c.Wait() must sit inside a for loop: wakeups are permitted to be
+//     spurious and Broadcast wakes everyone, so the guarded predicate must
+//     be re-checked before proceeding. A Wait under `if` is the classic
+//     missed-wakeup/spurious-wakeup bug.
+//   - c.Wait() must be called with the cond's L held — Wait unlocks L as it
+//     sleeps and relocks on wake; calling it unlocked panics at runtime.
+//   - c.Signal() / c.Broadcast() must be called with L held. Go itself
+//     permits a lock-free signal, but then the waiter can check its
+//     predicate, lose the race to the state change, and sleep through the
+//     only wakeup. Holding L orders the state change and the signal before
+//     any waiter can re-check.
+//
+// The cond-to-lock binding is discovered from sync.NewCond(&x.mu)
+// construction sites in the same package; held locks come from the must-held
+// dataflow, so conditional and deferred unlock paths are understood. Where a
+// signal is intentionally lock-free, suppress with
+// `//matchlint:ignore condprotocol -- <reason>`.
+package condprotocol
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackages scopes the analyzer to the concurrent serving stack.
+var TargetPackages = []string{
+	"internal/server",
+	"internal/pattern",
+	"internal/telemetry",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "condprotocol",
+	Doc: "enforces the sync.Cond protocol: Wait inside a for loop with L held, " +
+		"Signal/Broadcast with L held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	bindings := analysis.CondBindings(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		for _, body := range analysis.FuncBodies(f) {
+			checkBody(pass, body, bindings)
+		}
+	}
+	return nil
+}
+
+func inScope(pkgPath string) bool {
+	for _, want := range TargetPackages {
+		if analysis.PkgPathHas(pkgPath, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, bindings map[types.Object]types.Object) {
+	info := pass.TypesInfo
+	g := analysis.NewCFG(body)
+	in, reached := analysis.HeldLocks(info, g, true)
+	looped := callsInLoops(body)
+	for _, b := range g.Blocks {
+		if !reached[b.Index] {
+			continue
+		}
+		cur := in[b.Index]
+		for _, n := range b.Nodes {
+			cur = analysis.WalkLockOps(info, n, cur, func(call *ast.CallExpr, held analysis.LockSet) {
+				op, ok := analysis.ClassifyCondOp(info, call)
+				if !ok {
+					return
+				}
+				cond := types.ExprString(op.Recv)
+				switch op.Kind {
+				case analysis.CondWait:
+					if !looped[call] {
+						pass.Reportf(call.Pos(),
+							"%s.Wait() is not inside a for loop: wakeups may be spurious, re-check the predicate", cond)
+					}
+					if !holdsCondL(info, op, held, bindings) {
+						pass.Reportf(call.Pos(), "%s.Wait() without holding its L", cond)
+					}
+				case analysis.CondSignal, analysis.CondBroadcast:
+					if !holdsCondL(info, op, held, bindings) {
+						pass.Reportf(call.Pos(),
+							"%s.%s() without holding its L (a waiter can lose the wakeup race)",
+							cond, op.Call.Fun.(*ast.SelectorExpr).Sel.Name)
+					}
+				}
+			})
+		}
+	}
+}
+
+// holdsCondL reports whether the held set contains the cond's L: the lock it
+// was bound to at its sync.NewCond site, or a direct c.L acquisition. An
+// unbound cond (constructed in another package or via a function value) is
+// given the benefit of the doubt when any lock is held at all.
+func holdsCondL(info *types.Info, op analysis.CondOp, held analysis.LockSet, bindings map[types.Object]types.Object) bool {
+	ownL := types.ExprString(op.Recv) + ".L"
+	boundLock := bindings[analysis.FinalObj(info, op.Recv)]
+	for id := range held {
+		if id.Expr == ownL {
+			return true
+		}
+		if boundLock != nil && id.Obj == boundLock {
+			return true
+		}
+	}
+	return boundLock == nil && len(held) > 0
+}
+
+// callsInLoops records which call expressions sit lexically inside a for or
+// range statement of the same function. Function literals reset the loop
+// context: a closure's body is its own function and loops (or fails to)
+// on its own.
+func callsInLoops(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	var visit func(n ast.Node, depth int)
+	visit = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				if m.Init != nil {
+					visit(m.Init, depth)
+				}
+				if m.Cond != nil {
+					visit(m.Cond, depth)
+				}
+				if m.Post != nil {
+					visit(m.Post, depth)
+				}
+				visit(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				visit(m.X, depth)
+				visit(m.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if depth > 0 {
+					out[m] = true
+				}
+			}
+			return true
+		})
+	}
+	visit(body, 0)
+	return out
+}

@@ -1,0 +1,14 @@
+package condprotocol_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/condprotocol"
+)
+
+func TestCondprotocol(t *testing.T) {
+	analysistest.Run(t, condprotocol.Analyzer, "testdata",
+		"eventmatch/internal/server",
+	)
+}

@@ -1,0 +1,91 @@
+// Fixture for the condprotocol analyzer: Wait under `if` and lock-free
+// Signal/Broadcast are flagged, the canonical pool shapes are accepted, and
+// a reasoned ignore suppresses the intentional lock-free signal.
+package server
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) waitUnderIf() {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.cond.Wait() // want `q.cond.Wait\(\) is not inside a for loop`
+	}
+	q.items = q.items[1:]
+	q.mu.Unlock()
+}
+
+func (q *queue) waitUnlocked() {
+	for len(q.items) == 0 {
+		q.cond.Wait() // want `q.cond.Wait\(\) without holding its L`
+	}
+}
+
+func (q *queue) signalUnlocked() {
+	q.items = append(q.items, 1)
+	q.cond.Signal() // want `q.cond.Signal\(\) without holding its L`
+}
+
+func (q *queue) broadcastUnlocked() {
+	q.cond.Broadcast() // want `q.cond.Broadcast\(\) without holding its L`
+}
+
+func (q *queue) signalAfterUnlock() {
+	q.mu.Lock()
+	q.items = append(q.items, 1)
+	q.mu.Unlock()
+	q.cond.Signal() // want `q.cond.Signal\(\) without holding its L`
+}
+
+// Accepted: the canonical consumer — Wait in a for loop under the bound L.
+func (q *queue) pop() int {
+	q.mu.Lock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return v
+}
+
+// Accepted: the canonical producer — state change and Signal under L.
+func (q *queue) push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// Accepted: Broadcast under a deferred unlock still counts as L held.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = nil
+	q.cond.Broadcast()
+}
+
+// Accepted: locking through the cond's own L field is the same lock.
+func (q *queue) pushViaL(v int) {
+	q.cond.L.Lock()
+	q.items = append(q.items, v)
+	q.cond.Signal()
+	q.cond.L.Unlock()
+}
+
+// Suppressed: a deliberately lock-free wakeup hint.
+func (q *queue) nudge() {
+	//matchlint:ignore condprotocol -- best-effort hint; the waiter re-checks under L
+	q.cond.Signal()
+}

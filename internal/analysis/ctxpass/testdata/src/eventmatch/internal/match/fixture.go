@@ -41,7 +41,7 @@ func closureOwnCtx() func(context.Context) error {
 }
 
 func suppressed(ctx context.Context) error {
-	//matchlint:ignore ctxpass detached audit write must survive cancellation
+	//matchlint:ignore ctxpass -- detached audit write must survive cancellation
 	return helper(context.Background())
 }
 

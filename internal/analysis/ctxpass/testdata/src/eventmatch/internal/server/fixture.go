@@ -47,7 +47,7 @@ func plainHelper(n int) context.Context {
 }
 
 func suppressedHandler(w http.ResponseWriter, r *http.Request) {
-	//matchlint:ignore ctxpass audit write must outlive the request
+	//matchlint:ignore ctxpass -- audit write must outlive the request
 	helper(context.Background())
 }
 

@@ -1,0 +1,76 @@
+package analysis
+
+import "go/ast"
+
+// FlowProblem describes one forward dataflow analysis over a CFG. F is the
+// fact type (e.g. a held-lock set or a file-state map). The framework is
+// optimistic-iterative: facts start at the problem's entry value in the entry
+// block and propagate only along edges that become reachable, so a must
+// analysis joins with intersection without being poisoned by never-taken
+// paths.
+type FlowProblem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+
+	// Transfer returns the fact after executing one atomic node given the
+	// fact before it. It must not mutate its input (facts are shared across
+	// edges); copy-on-write inside Transfer is the expected idiom.
+	Transfer func(n ast.Node, in F) F
+
+	// Join merges the facts flowing in over two edges. Union for may
+	// analyses, intersection for must analyses. Like Transfer it must not
+	// mutate its inputs.
+	Join func(a, b F) F
+
+	// Equal reports whether two facts are equivalent; it bounds the
+	// iteration.
+	Equal func(a, b F) bool
+}
+
+// Forward iterates the problem to a fixpoint and returns, for each block,
+// the fact holding at the block's entry, plus a reachability mask (a block
+// with no reached predecessors — dead code, or alive only through edges the
+// lowering does not model — has a zero-value in[] entry and reached=false;
+// analyzers must skip it). Analyzers recover per-node facts by re-applying
+// Transfer across a reached block's Nodes starting from in[block.Index].
+func Forward[F any](g *CFG, p FlowProblem[F]) (in []F, reached []bool) {
+	n := len(g.Blocks)
+	in = make([]F, n)
+	reached = make([]bool, n)
+	in[g.Entry.Index] = p.Entry
+	reached[g.Entry.Index] = true
+
+	// Worklist seeded with entry; out-facts recomputed on demand.
+	work := []*Block{g.Entry}
+	inWork := make([]bool, n)
+	inWork[g.Entry.Index] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+
+		out := in[b.Index]
+		for _, node := range b.Nodes {
+			out = p.Transfer(node, out)
+		}
+		for _, s := range b.Succs {
+			var next F
+			if !reached[s.Index] {
+				next = out
+				reached[s.Index] = true
+			} else {
+				next = p.Join(in[s.Index], out)
+				if p.Equal(next, in[s.Index]) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			if !inWork[s.Index] {
+				work = append(work, s)
+				inWork[s.Index] = true
+			}
+		}
+	}
+	return in, reached
+}

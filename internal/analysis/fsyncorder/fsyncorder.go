@@ -1,0 +1,325 @@
+// Package fsyncorder enforces the write→fsync→rename→dir-sync protocol in
+// internal/server/store — the invariant behind the crash-recovery gate. A
+// rename only atomically publishes a file whose bytes are already on disk:
+// renaming before Sync can publish a torn file after a crash, and skipping
+// the parent-directory sync after the rename can lose the rename itself
+// (the new directory entry is just another dirty page).
+//
+// The analyzer runs a forward file-state dataflow over each function's CFG.
+// Opening calls (Create, Open, OpenFile, OpenAppend, CreateTemp) bind a
+// handle to the path expression they were given; any write through the
+// handle — a method call on it, or passing it to another function, which
+// conservatively counts as a write — marks it dirty; Sync marks it clean
+// (and a later write dirties it again). At a Rename whose source path
+// matches a dirty handle's path, the missing Sync is reported; a Rename
+// with no call named SyncDir anywhere on the paths after it is reported
+// as an unsynced directory.
+//
+// Where the protocol is intentionally relaxed (a cache file whose loss is
+// acceptable), suppress with `//matchlint:ignore fsyncorder -- <reason>`.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackages scopes the analyzer to the durable store.
+var TargetPackages = []string{"internal/server/store"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc: "enforces write→Sync→Rename→SyncDir ordering for files published " +
+		"by rename in the durable store",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, body := range analysis.FuncBodies(f) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+func inScope(pkgPath string) bool {
+	for _, want := range TargetPackages {
+		if analysis.PkgPathHas(pkgPath, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathKey identifies the path argument a handle was opened with: by the
+// variable holding it when the type-checker can name one, by its printed
+// form otherwise.
+type pathKey struct {
+	obj  types.Object
+	expr string
+}
+
+func samePath(a, b pathKey) bool {
+	if a.obj != nil && a.obj == b.obj {
+		return true
+	}
+	return a.expr != "" && a.expr == b.expr
+}
+
+// fileState is one handle's lattice value.
+type fileState struct {
+	path    pathKey
+	written bool // may have unsynced bytes (OR across paths)
+	synced  bool // definitely synced since last write (AND across paths)
+}
+
+// fileFacts maps each tracked handle to its state. Immutable: transfer
+// copies on write so facts can be shared across CFG edges.
+type fileFacts map[types.Object]fileState
+
+func withFact(facts fileFacts, h types.Object, st fileState) fileFacts {
+	if prev, ok := facts[h]; ok && prev == st {
+		return facts
+	}
+	out := make(fileFacts, len(facts)+1)
+	for k, v := range facts {
+		out[k] = v
+	}
+	out[h] = st
+	return out
+}
+
+func joinFacts(a, b fileFacts) fileFacts {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(fileFacts, len(a)+len(b))
+	for h, st := range a {
+		if other, ok := b[h]; ok {
+			st.written = st.written || other.written
+			st.synced = st.synced && other.synced
+		}
+		out[h] = st
+	}
+	for h, st := range b {
+		if _, ok := a[h]; !ok {
+			out[h] = st
+		}
+	}
+	return out
+}
+
+func equalFacts(a, b fileFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for h, st := range a {
+		if other, ok := b[h]; !ok || other != st {
+			return false
+		}
+	}
+	return true
+}
+
+// openFuncs are the callee names that produce a tracked handle from a path.
+var openFuncs = map[string]bool{
+	"Create":     true,
+	"Open":       true,
+	"OpenFile":   true,
+	"OpenAppend": true,
+	"CreateTemp": true,
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	g := analysis.NewCFG(body)
+	in, reached := analysis.Forward(g, analysis.FlowProblem[fileFacts]{
+		Entry: fileFacts{},
+		Transfer: func(n ast.Node, facts fileFacts) fileFacts {
+			return transferNode(info, n, facts, nil)
+		},
+		Join:  joinFacts,
+		Equal: equalFacts,
+	})
+
+	syncDirs := syncDirSites(info, g)
+	for _, b := range g.Blocks {
+		if !reached[b.Index] {
+			continue
+		}
+		cur := in[b.Index]
+		for i, n := range b.Nodes {
+			nodeIdx := i
+			cur = transferNode(info, n, cur, func(call *ast.CallExpr, facts fileFacts) {
+				if !isCallNamed(info, call, "Rename") || len(call.Args) < 2 {
+					return
+				}
+				src := keyOf(info, call.Args[0])
+				for _, st := range facts {
+					if samePath(st.path, src) && st.written && !st.synced {
+						pass.Reportf(call.Pos(),
+							"%s is renamed with unsynced writes: call Sync before Rename (crash may publish a torn file)",
+							src.expr)
+					}
+				}
+				if !syncDirReachable(g, syncDirs, b, nodeIdx) {
+					pass.Reportf(call.Pos(),
+						"no SyncDir after this Rename: the directory entry is not durable until the parent directory is synced")
+				}
+			})
+		}
+	}
+}
+
+// transferNode applies one atomic node to the facts; onCall, when non-nil,
+// sees every executed call with the facts in force immediately before it.
+func transferNode(info *types.Info, n ast.Node, facts fileFacts, onCall func(*ast.CallExpr, fileFacts)) fileFacts {
+	out := facts
+	analysis.VisitAtomic(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.AssignStmt:
+			out = bindOpens(info, m, out)
+		case *ast.CallExpr:
+			if onCall != nil {
+				onCall(m, out)
+			}
+			out = applyCall(info, m, out)
+		}
+		return true
+	})
+	return out
+}
+
+// bindOpens tracks `f, err := fs.Create(path)` style handle bindings.
+func bindOpens(info *types.Info, as *ast.AssignStmt, facts fileFacts) fileFacts {
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || !openFuncs[fn.Name()] {
+			return
+		}
+		h := analysis.FinalObj(info, lhs)
+		if h == nil {
+			return
+		}
+		facts = withFact(facts, h, fileState{path: keyOf(info, call.Args[0])})
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 0 {
+		bind(as.Lhs[0], as.Rhs[0])
+	} else if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			bind(as.Lhs[i], as.Rhs[i])
+		}
+	}
+	return facts
+}
+
+// applyCall updates handle states for one executed call: Sync cleans its
+// receiver, Close is neutral, any other method on a tracked handle — or the
+// handle escaping as an argument — dirties it.
+func applyCall(info *types.Info, call *ast.CallExpr, facts fileFacts) fileFacts {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if h := analysis.FinalObj(info, sel.X); h != nil {
+			if st, tracked := facts[h]; tracked {
+				switch sel.Sel.Name {
+				case "Sync":
+					st.written, st.synced = false, true
+				case "Close":
+					// Close flushes user-space buffers at most; it is no
+					// substitute for Sync and changes nothing here.
+					return facts
+				default:
+					st.written, st.synced = true, false
+				}
+				return withFact(facts, h, st)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if h := analysis.FinalObj(info, arg); h != nil {
+			if st, tracked := facts[h]; tracked {
+				st.written, st.synced = true, false
+				facts = withFact(facts, h, st)
+			}
+		}
+	}
+	return facts
+}
+
+// keyOf derives the pathKey of a path expression.
+func keyOf(info *types.Info, e ast.Expr) pathKey {
+	return pathKey{obj: analysis.FinalObj(info, e), expr: types.ExprString(e)}
+}
+
+// isCallNamed reports whether the call's static callee (or, for calls the
+// type-checker cannot resolve, its selector) has the given name.
+func isCallNamed(info *types.Info, call *ast.CallExpr, name string) bool {
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		return fn.Name() == name
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name == name
+	}
+	return false
+}
+
+// syncDirSites records, per block, the node indices holding a SyncDir call.
+// Deferred SyncDir counts: it runs before the function returns, which is
+// after every rename.
+func syncDirSites(info *types.Info, g *analysis.CFG) map[int][]int {
+	out := map[int][]int{}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			found := false
+			analysis.VisitAtomic(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isCallNamed(info, call, "SyncDir") {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				out[b.Index] = append(out[b.Index], i)
+			}
+		}
+	}
+	return out
+}
+
+// syncDirReachable reports whether a SyncDir call exists later in the same
+// block or in any block reachable from it.
+func syncDirReachable(g *analysis.CFG, sites map[int][]int, from *analysis.Block, nodeIdx int) bool {
+	for _, i := range sites[from.Index] {
+		if i > nodeIdx {
+			return true
+		}
+	}
+	seen := map[int]bool{from.Index: true}
+	stack := append([]*analysis.Block(nil), from.Succs...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		if len(sites[b.Index]) > 0 {
+			return true
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package fsyncorder_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/fsyncorder"
+)
+
+func TestFsyncorder(t *testing.T) {
+	analysistest.Run(t, fsyncorder.Analyzer, "testdata",
+		"eventmatch/internal/server/store",
+	)
+}

@@ -1,0 +1,129 @@
+// Fixture for the fsyncorder analyzer: rename-before-sync and missing
+// directory syncs are flagged, the full write→Sync→Rename→SyncDir protocol
+// is accepted, and a reasoned ignore suppresses the scratch-file case.
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+type FS interface {
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	SyncDir(path string) error
+}
+
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+func renameUnsynced(fs FS, tmp, dst string, b []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(b)
+	f.Close()
+	if err := fs.Rename(tmp, dst); err != nil { // want `tmp is renamed with unsynced writes`
+		return err
+	}
+	return fs.SyncDir(".")
+}
+
+func renameNoDirSync(fs FS, tmp, dst string, b []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(b)
+	f.Sync()
+	f.Close()
+	return fs.Rename(tmp, dst) // want `no SyncDir after this Rename`
+}
+
+func osRenameBare(tmp, dst string, b []byte) {
+	f, _ := os.Create(tmp)
+	f.Write(b)
+	f.Close()
+	os.Rename(tmp, dst) // want `tmp is renamed with unsynced writes` `no SyncDir after this Rename`
+}
+
+func syncThenDirtyAgain(fs FS, tmp, dst string, b []byte) {
+	f, _ := fs.Create(tmp)
+	f.Write(b)
+	f.Sync()
+	f.Write(b)
+	fs.Rename(tmp, dst) // want `tmp is renamed with unsynced writes`
+	fs.SyncDir(".")
+}
+
+func syncOnOnePathOnly(fs FS, tmp, dst string, b []byte, flush bool) {
+	f, _ := fs.Create(tmp)
+	f.Write(b)
+	if flush {
+		f.Sync()
+	}
+	fs.Rename(tmp, dst) // want `tmp is renamed with unsynced writes`
+	fs.SyncDir(".")
+}
+
+func dirtyViaFprintf(fs FS, tmp, dst string) {
+	f, _ := fs.Create(tmp)
+	fmt.Fprintf(f, "header\n")
+	fs.Rename(tmp, dst) // want `tmp is renamed with unsynced writes`
+	fs.SyncDir(".")
+}
+
+// Accepted: the full protocol.
+func publish(fs FS, tmp, dst string, b []byte) error {
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return fs.SyncDir(dst)
+}
+
+// Accepted: Sync on every branch before the rename.
+func publishBothBranches(fs FS, tmp, dst string, b []byte, extra bool) {
+	f, _ := fs.Create(tmp)
+	if extra {
+		f.Write(b)
+		f.Sync()
+	} else {
+		f.Sync()
+	}
+	fs.Rename(tmp, dst)
+	fs.SyncDir(".")
+}
+
+// Accepted: renaming a path no tracked handle wrote to only needs the
+// directory sync.
+func renameForeign(fs FS, src, dst string) {
+	fs.Rename(src, dst)
+	fs.SyncDir(".")
+}
+
+// Suppressed: a scratch file whose loss after a crash is acceptable.
+func scratch(fs FS, tmp, dst string, b []byte) {
+	f, _ := fs.Create(tmp)
+	f.Write(b)
+	//matchlint:ignore fsyncorder -- scratch cache: loss after a crash is acceptable
+	fs.Rename(tmp, dst)
+}

@@ -7,49 +7,80 @@ import (
 	"strings"
 )
 
-// ignoreRe matches a suppression directive:
+// ignoreRe matches a suppression directive. A directive must carry a reason
+// after a ` -- ` separator:
 //
-//	//matchlint:ignore mapiter optional free-text reason
-//	//matchlint:ignore mapiter,ctxpass reason covering both
+//	//matchlint:ignore mapiter -- random eviction victim is intentional
+//	//matchlint:ignore mapiter,ctxpass -- reason covering both
 //
 // The directive suppresses the named analyzers' diagnostics on its own line
 // and on the following line, so it works both as a trailing comment and as a
 // leading comment above the flagged statement.
-var ignoreRe = regexp.MustCompile(`^//\s*matchlint:ignore\s+([A-Za-z0-9_,]+)(\s|$)`)
+//
+// A directive without a reason does not suppress anything; instead it is
+// itself reported as a malformed-directive diagnostic (analyzer name
+// "ignore"), so a bare ignore can never silently disable a check. That
+// diagnostic is not suppressible.
+var ignoreRe = regexp.MustCompile(`^//\s*matchlint:ignore\s+([A-Za-z0-9_,]+)\s*(?:--\s*(.*))?$`)
 
-// ignoreSet records, per file and line, which analyzers are suppressed.
-type ignoreSet map[string]map[int]map[string]bool
+// ignoreAttemptRe decides whether a comment is trying to be a directive at
+// all (as opposed to prose that merely mentions one, e.g. a doc-comment
+// example nested behind a second //). Only attempts are checked for the
+// required reason.
+var ignoreAttemptRe = regexp.MustCompile(`^//\s*matchlint:ignore\b`)
+
+// ignoreSet records, per file and line, which analyzers are suppressed, plus
+// the malformed directives found along the way.
+type ignoreSet struct {
+	byPos     map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
 
 // collectIgnores scans the files' comments for directives.
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	set := ignoreSet{}
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	set := &ignoreSet{byPos: map[string]map[int]map[string]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				for _, name := range strings.Split(m[1], ",") {
-					name = strings.TrimSpace(name)
-					if name == "" {
-						continue
-					}
-					set.add(pos.Filename, pos.Line, name)
-					set.add(pos.Filename, pos.Line+1, name)
-				}
+				set.directive(fset, c)
 			}
 		}
 	}
 	return set
 }
 
-func (s ignoreSet) add(file string, line int, analyzer string) {
-	byLine := s[file]
+func (s *ignoreSet) directive(fset *token.FileSet, c *ast.Comment) {
+	text := strings.TrimRight(c.Text, " \t")
+	if !ignoreAttemptRe.MatchString(text) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil || strings.TrimSpace(m[2]) == "" {
+		// It names the directive but lacks the required `-- reason` (or is
+		// otherwise garbled). Report, don't suppress.
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: "ignore",
+			Message:  "matchlint:ignore directive requires a reason: //matchlint:ignore <analyzers> -- <reason>",
+		})
+		return
+	}
+	for _, name := range strings.Split(m[1], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s.add(pos.Filename, pos.Line, name)
+		s.add(pos.Filename, pos.Line+1, name)
+	}
+}
+
+func (s *ignoreSet) add(file string, line int, analyzer string) {
+	byLine := s.byPos[file]
 	if byLine == nil {
 		byLine = map[int]map[string]bool{}
-		s[file] = byLine
+		s.byPos[file] = byLine
 	}
 	names := byLine[line]
 	if names == nil {
@@ -60,15 +91,14 @@ func (s ignoreSet) add(file string, line int, analyzer string) {
 }
 
 // ignored reports whether a diagnostic at the position is suppressed.
-func (s ignoreSet) ignored(d Diagnostic) bool {
-	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+func (s *ignoreSet) ignored(d Diagnostic) bool {
+	return s.byPos[d.Pos.Filename][d.Pos.Line][d.Analyzer]
 }
 
-// filter drops suppressed diagnostics.
-func (s ignoreSet) filter(diags []Diagnostic) []Diagnostic {
-	if len(s) == 0 {
-		return diags
-	}
+// filter drops suppressed diagnostics. Malformed directives are appended
+// once per package by RunPackages, not here (module diagnostics are filtered
+// through the same sets and must not duplicate them).
+func (s *ignoreSet) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
 		if !s.ignored(d) {

@@ -10,7 +10,7 @@
 // float64 addition (x + y, x += y) inside methods of the Engine type; the
 // single final normalization (an integer-to-float division) is untouched.
 // A deliberate post-normalization float sum can be suppressed with
-// //matchlint:ignore intmerge <reason>.
+// //matchlint:ignore intmerge -- <reason>.
 package intmerge
 
 import (

@@ -49,7 +49,7 @@ func (e *Engine) workerMerge(parts []float64) float64 {
 func (e *Engine) weightedScore(fs []float64) float64 {
 	s := 0.0
 	for _, f := range fs {
-		//matchlint:ignore intmerge post-normalization aggregate, not a shard merge
+		//matchlint:ignore intmerge -- post-normalization aggregate, not a shard merge
 		s += f
 	}
 	return s

@@ -97,26 +97,36 @@ func newInfo() *types.Info {
 // matched by patterns (same syntax as the go tool; "" dir means the current
 // directory). Standard-library and external packages appear only as imports,
 // resolved through export data.
+//
+// Module packages are checked in dependency order (which is how `go list
+// -deps` emits them) and each one's imports resolve first against the
+// already-checked module packages, falling back to export data only for the
+// rest. The shared identities matter: a module analyzer comparing a
+// *types.Func seen at a call site in package A against the same function
+// checked in package B must get one object, not an export-data shadow.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(listed))
-	var targets []*listedPackage
 	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.Standard && p.Module != nil && len(p.GoFiles) > 0 {
-			targets = append(targets, p)
-		}
 	}
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
+	local := map[string]*types.Package{}
+	imp := &fallbackImporter{
+		local:  local,
+		export: exportImporter(fset, exports),
+	}
 	var out []*Package
-	for _, p := range targets {
+	for _, p := range listed {
+		if p.Standard || p.Module == nil || len(p.GoFiles) == 0 {
+			continue
+		}
 		files := make([]*ast.File, 0, len(p.GoFiles))
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -131,6 +141,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
 		}
+		local[p.ImportPath] = tpkg
 		out = append(out, &Package{
 			Path:  p.ImportPath,
 			Fset:  fset,

@@ -1,0 +1,287 @@
+// Package lockheld flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held. A worker-pool tick, a limiter decision, or a
+// shard lookup holds its lock for nanoseconds; a disk write, a network
+// round-trip, or an unbuffered channel send under that same lock turns every
+// other goroutine contending for it into a convoy — and in eventmatchd that
+// convoy is directly visible as tail latency on the fairness gate.
+//
+// The analyzer runs the must-held-lock dataflow from internal/analysis over
+// each function's CFG, so it understands early returns, conditional
+// unlock paths, and `defer mu.Unlock()` (the lock stays held to the end of
+// the function — exactly the defer's semantics). An operation is blocking
+// when it is:
+//
+//   - a call into os, net, net/http, io, or io/ioutil (file and socket I/O);
+//   - time.Sleep;
+//   - any method named Sync (fsync, whatever the receiver);
+//   - sync.WaitGroup.Wait;
+//   - an interface method named Read, Write, ReadFrom, WriteTo, or Close —
+//     an interface hides who is on the other side, so the analyzer assumes
+//     I/O (interfaces declared in package hash are exempt: hashing is pure
+//     computation);
+//   - a channel send, receive, or range, or a select with no default clause
+//     (a select that has one cannot block, so its communication clauses are
+//     exempt);
+//   - acquiring another lock (a second Lock is at best a lock-order hazard
+//     and at worst a deadlock; re-acquiring the same lock is reported as a
+//     self-deadlock);
+//   - sync.Cond.Wait while holding any lock other than the cond's own L
+//     (Wait releases L while asleep, but everything else stays held).
+//
+// Calls through function values are invisible to a static callee resolver
+// and are not flagged. Where holding the lock across I/O is the contract —
+// the WAL journal serializes appends by design — suppress with
+// `//matchlint:ignore lockheld -- <reason>`.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackages scopes the analyzer to the concurrent serving stack.
+var TargetPackages = []string{
+	"internal/server",
+	"internal/pattern",
+	"internal/telemetry",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "flags blocking operations (I/O, sleeps, channel ops, nested locks) " +
+		"performed while a sync.Mutex or RWMutex is held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	bindings := analysis.CondBindings(pass.TypesInfo, pass.Files)
+	for _, f := range pass.Files {
+		for _, body := range analysis.FuncBodies(f) {
+			checkBody(pass, body, bindings)
+		}
+	}
+	return nil
+}
+
+func inScope(pkgPath string) bool {
+	for _, want := range TargetPackages {
+		if analysis.PkgPathHas(pkgPath, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, bindings map[types.Object]types.Object) {
+	info := pass.TypesInfo
+	g := analysis.NewCFG(body)
+	in, reached := analysis.HeldLocks(info, g, true)
+	exemptComms := selectCommStmts(body)
+	for _, b := range g.Blocks {
+		if !reached[b.Index] {
+			continue
+		}
+		cur := in[b.Index]
+		for _, n := range b.Nodes {
+			checkChannelOps(pass, n, cur, exemptComms)
+			cur = analysis.WalkLockOps(info, n, cur, func(call *ast.CallExpr, held analysis.LockSet) {
+				checkCall(pass, call, held, bindings)
+			})
+		}
+	}
+}
+
+// selectCommStmts collects the communication statements of every select in
+// the body. They are checked at the select statement itself (blocking only
+// when no default clause exists), never individually.
+func selectCommStmts(body *ast.BlockStmt) map[ast.Stmt]bool {
+	out := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				out[cc.Comm] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkChannelOps reports channel communication in one atomic node performed
+// under a lock: sends, receives, ranges over channels, and selects without a
+// default clause.
+func checkChannelOps(pass *analysis.Pass, n ast.Node, held analysis.LockSet, exempt map[ast.Stmt]bool) {
+	if len(held) == 0 {
+		return
+	}
+	if stmt, ok := n.(ast.Stmt); ok && exempt[stmt] {
+		return
+	}
+	info := pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				return // has a default clause: cannot block
+			}
+		}
+		pass.Reportf(n.Pos(), "select without default while holding %s", heldNames(held))
+		return
+	case *ast.RangeStmt:
+		if tv, ok := info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				pass.Reportf(n.Pos(), "range over channel while holding %s", heldNames(held))
+			}
+		}
+		return
+	}
+	analysis.VisitAtomic(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(m.Arrow, "channel send while holding %s", heldNames(held))
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				pass.Reportf(m.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// checkCall classifies one call against the locks held immediately before it.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, held analysis.LockSet, bindings map[types.Object]types.Object) {
+	info := pass.TypesInfo
+
+	if op, ok := analysis.ClassifyMutexOp(info, call); ok {
+		if op.Kind != analysis.OpLock && op.Kind != analysis.OpRLock {
+			return
+		}
+		if held[op.ID] {
+			pass.Reportf(call.Pos(), "acquiring %s while already holding it (self-deadlock)", op.ID.Expr)
+			return
+		}
+		if len(held) > 0 {
+			pass.Reportf(call.Pos(), "acquiring %s while holding %s", op.ID.Expr, heldNames(held))
+		}
+		return
+	}
+
+	if op, ok := analysis.ClassifyCondOp(info, call); ok {
+		if op.Kind != analysis.CondWait {
+			return // Signal/Broadcast never block; condprotocol owns them
+		}
+		// Wait releases the cond's own L while asleep; any other lock stays
+		// held for the whole sleep.
+		rest := condWaitExtraLocks(info, op, held, bindings)
+		if len(rest) > 0 {
+			pass.Reportf(call.Pos(), "Cond.Wait while holding %s (Wait only releases its own L)", strings.Join(rest, ", "))
+		}
+		return
+	}
+
+	if len(held) == 0 {
+		return
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return // function value: statically invisible
+	}
+	if why := blockingCall(fn); why != "" {
+		pass.Reportf(call.Pos(), "%s while holding %s", why, heldNames(held))
+	}
+}
+
+// condWaitExtraLocks returns the held locks that are not the cond's own L.
+func condWaitExtraLocks(info *types.Info, op analysis.CondOp, held analysis.LockSet, bindings map[types.Object]types.Object) []string {
+	boundLock := bindings[analysis.FinalObj(info, op.Recv)]
+	ownL := types.ExprString(op.Recv) + ".L"
+	var rest []string
+	for id := range held {
+		if id.Expr == ownL {
+			continue
+		}
+		if boundLock != nil && id.Obj == boundLock {
+			continue
+		}
+		if boundLock == nil && len(held) == 1 {
+			// Unknown binding and a single held lock: assume it is L rather
+			// than inventing a finding.
+			continue
+		}
+		rest = append(rest, id.Expr)
+	}
+	sort.Strings(rest)
+	return rest
+}
+
+// blockingPkgs are the stdlib packages whose entry points mean I/O.
+var blockingPkgs = map[string]bool{
+	"os":        true,
+	"net":       true,
+	"net/http":  true,
+	"io":        true,
+	"io/ioutil": true,
+	"syscall":   true,
+}
+
+// blockingIfaceMethods are the interface-method names presumed to be I/O.
+var blockingIfaceMethods = map[string]bool{
+	"Read":     true,
+	"Write":    true,
+	"ReadFrom": true,
+	"WriteTo":  true,
+	"Close":    true,
+}
+
+// blockingCall reports why a statically resolved callee blocks ("" when it
+// does not).
+func blockingCall(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if blockingPkgs[pkg] {
+		return "call to " + fn.FullName()
+	}
+	if pkg == "time" && fn.Name() == "Sleep" {
+		return "call to time.Sleep"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if fn.Name() == "Sync" {
+		return "call to " + fn.FullName() + " (fsync)"
+	}
+	if pkg == "sync" && fn.Name() == "Wait" {
+		return "call to " + fn.FullName()
+	}
+	if types.IsInterface(sig.Recv().Type()) && blockingIfaceMethods[fn.Name()] && pkg != "hash" {
+		return "call to interface method " + fn.FullName() + " (presumed I/O)"
+	}
+	return ""
+}
+
+// heldNames renders a lock set for a diagnostic, sorted for determinism.
+func heldNames(held analysis.LockSet) string {
+	names := make([]string, 0, len(held))
+	for id := range held {
+		names = append(names, id.Expr)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,14 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "testdata",
+		"eventmatch/internal/server",
+	)
+}

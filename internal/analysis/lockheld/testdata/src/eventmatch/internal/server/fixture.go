@@ -1,0 +1,140 @@
+// Fixture for the lockheld analyzer: blocking operations under a held
+// mutex are flagged; lock-free I/O, select-with-default, goroutine
+// launches, and the cond's own Wait are accepted; a reasoned ignore
+// suppresses the WAL-style intentional case.
+package server
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []int
+	done chan struct{}
+}
+
+func newPool() *pool {
+	p := &pool{done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pool) persistLocked(path string) {
+	p.mu.Lock()
+	os.WriteFile(path, nil, 0o644) // want `call to os.WriteFile while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *pool) sleepyDeferred() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding p.mu`
+}
+
+func (p *pool) notify() {
+	p.mu.Lock()
+	p.done <- struct{}{} // want `channel send while holding p.mu`
+	p.mu.Unlock()
+}
+
+func (p *pool) drainWait(wg *sync.WaitGroup) {
+	p.mu.Lock()
+	wg.Wait() // want `call to \(\*sync.WaitGroup\).Wait while holding p.mu`
+	p.mu.Unlock()
+}
+
+var a, b sync.Mutex
+
+func nested() {
+	a.Lock()
+	b.Lock() // want `acquiring b while holding a`
+	b.Unlock()
+	a.Lock() // want `acquiring a while already holding it \(self-deadlock\)`
+	a.Unlock()
+	a.Unlock()
+}
+
+func (p *pool) waitWithExtraLock() {
+	a.Lock()
+	p.mu.Lock() // want `acquiring p.mu while holding a`
+	for len(p.q) == 0 {
+		p.cond.Wait() // want `Cond.Wait while holding a \(Wait only releases its own L\)`
+	}
+	p.mu.Unlock()
+	a.Unlock()
+}
+
+type sink interface {
+	Write(p []byte) (int, error)
+}
+
+func (p *pool) flushTo(w sink) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w.Write(nil) // want `call to interface method .*Write.* \(presumed I/O\) while holding p.mu`
+}
+
+func (p *pool) blockingSelect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `select without default while holding p.mu`
+	case <-p.done:
+	case p.done <- struct{}{}:
+	}
+}
+
+// Accepted: the lock is released on every path before the blocking call.
+func (p *pool) okConditionalUnlock(flag bool, path string) {
+	p.mu.Lock()
+	if flag {
+		p.mu.Unlock()
+		os.WriteFile(path, nil, 0o644)
+		return
+	}
+	p.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Accepted: the canonical worker shape — Wait holds only its own L, and the
+// select under the lock carries a default clause so it cannot block.
+func (p *pool) okWorker() {
+	p.mu.Lock()
+	for len(p.q) == 0 {
+		p.cond.Wait()
+	}
+	p.q = p.q[1:]
+	select {
+	case <-p.done:
+	default:
+	}
+	p.mu.Unlock()
+}
+
+// Accepted: launching a goroutine under the lock does not block; the
+// goroutine's own body runs (and is analyzed) with an empty lock set.
+func (p *pool) okSpawn(path string) {
+	p.mu.Lock()
+	go p.persistLocked(path)
+	p.mu.Unlock()
+}
+
+// Accepted: a deferred unlock registered under the lock is the protocol,
+// not a blocking call.
+func (p *pool) okDeferUnderLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q)
+}
+
+// Suppressed: holding the lock across the write is this function's whole
+// contract, as for a WAL append that must serialize writers.
+func (p *pool) walAppend(f *os.File, b []byte) {
+	p.mu.Lock()
+	//matchlint:ignore lockheld -- WAL append serializes writers by design
+	f.Write(b)
+	p.mu.Unlock()
+}

@@ -1,0 +1,363 @@
+// Package lockorder builds a static lock-acquisition-order graph across the
+// serving stack (internal/server, internal/server/tenant,
+// internal/server/store, internal/pattern) and reports cycles — the
+// potential deadlocks no single-package analyzer can see.
+//
+// Locks are named by class, not instance: "pkg.Type.field" for a mutex held
+// in a struct field, "pkg.var" for a package-level mutex, so every instance
+// of a type shares one node in the graph (the granularity at which ordering
+// disciplines are stated). Within each function the may-held dataflow
+// produces an edge A → B wherever a lock of class B is acquired while one of
+// class A may be held — either directly, or transitively through a
+// statically resolved call chain whose callee acquires B (the call-site edge
+// carries a "via" note naming the callee). Calls through function values and
+// interface methods are invisible; goroutine launches correctly start with
+// an empty lock set.
+//
+// A cycle between classes means two code paths acquire the same locks in
+// opposite orders; the diagnostic spells out both paths with their
+// positions. Each cycle is reported once, at the first edge out of its
+// lexicographically smallest class, so a suppression
+// (`//matchlint:ignore lockorder -- <reason>`) goes on that acquisition.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"eventmatch/internal/analysis"
+)
+
+// TargetPackages scopes the graph to the packages whose locks interleave.
+var TargetPackages = []string{
+	"internal/server",
+	"internal/server/tenant",
+	"internal/server/store",
+	"internal/pattern",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "builds the cross-package lock-acquisition graph and reports " +
+		"ordering cycles (potential deadlocks) with both paths",
+	RunModule: run,
+}
+
+func inScope(pkgPath string) bool {
+	for _, want := range TargetPackages {
+		if analysis.PkgPathHas(pkgPath, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// summary is what one named function contributes to the fixpoint.
+type summary struct {
+	acquires map[string]bool      // lock classes acquired anywhere in the body
+	calls    map[*types.Func]bool // statically resolved callees
+}
+
+// rawEdge is one A-before-B observation.
+type rawEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee name for transitive edges, "" for direct ones
+}
+
+// heldCall is a call made while locks are held; it becomes edges once the
+// callee's transitive acquisitions are known.
+type heldCall struct {
+	callee *types.Func
+	held   []string
+	pos    token.Pos
+}
+
+func run(pass *analysis.ModulePass) error {
+	summaries := map[*types.Func]*summary{}
+	var direct []rawEdge
+	var heldCalls []heldCall
+
+	for _, pkg := range pass.Pkgs {
+		if !inScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				sum := analyzeBody(pkg.Info, fd.Body, &direct, &heldCalls)
+				if fn != nil {
+					summaries[fn] = sum
+				}
+			}
+			// Function literals contribute edges and held calls but have no
+			// callable identity of their own.
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					analyzeBody(pkg.Info, lit.Body, &direct, &heldCalls)
+				}
+				return true
+			})
+		}
+	}
+
+	edges := expandEdges(summaries, direct, heldCalls)
+	reportCycles(pass, edges)
+	return nil
+}
+
+// analyzeBody runs the may-held dataflow over one function body, appending
+// the direct edges and held calls it observes, and returns its summary.
+func analyzeBody(info *types.Info, body *ast.BlockStmt, direct *[]rawEdge, heldCalls *[]heldCall) *summary {
+	sum := &summary{acquires: map[string]bool{}, calls: map[*types.Func]bool{}}
+	g := analysis.NewCFG(body)
+
+	// Pass 1 — classify every acquisition site so held LockIDs can be mapped
+	// to classes in pass 2 regardless of block order, and collect callees.
+	classOf := map[analysis.LockID]string{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			analysis.VisitAtomic(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if op, ok := analysis.ClassifyMutexOp(info, call); ok {
+					if op.Kind == analysis.OpLock || op.Kind == analysis.OpRLock {
+						if class, ok := analysis.LockClass(info, op.Recv); ok {
+							classOf[op.ID] = class
+							sum.acquires[class] = true
+						}
+					}
+				} else if fn := analysis.CalleeFunc(info, call); fn != nil {
+					sum.calls[fn] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2 — walk the reached blocks with the may-held facts.
+	in, reached := analysis.HeldLocks(info, g, false)
+	for _, b := range g.Blocks {
+		if !reached[b.Index] {
+			continue
+		}
+		cur := in[b.Index]
+		for _, n := range b.Nodes {
+			cur = analysis.WalkLockOps(info, n, cur, func(call *ast.CallExpr, held analysis.LockSet) {
+				if len(held) == 0 {
+					return
+				}
+				heldClasses := classesOf(classOf, held)
+				if len(heldClasses) == 0 {
+					return
+				}
+				if op, ok := analysis.ClassifyMutexOp(info, call); ok {
+					if op.Kind != analysis.OpLock && op.Kind != analysis.OpRLock {
+						return
+					}
+					to := classOf[op.ID]
+					if to == "" {
+						return
+					}
+					for _, from := range heldClasses {
+						if from != to {
+							*direct = append(*direct, rawEdge{from: from, to: to, pos: call.Pos()})
+						}
+					}
+					return
+				}
+				if fn := analysis.CalleeFunc(info, call); fn != nil {
+					*heldCalls = append(*heldCalls, heldCall{callee: fn, held: heldClasses, pos: call.Pos()})
+				}
+			})
+		}
+	}
+	return sum
+}
+
+// classesOf maps a held LockSet to its sorted, deduplicated class names.
+func classesOf(classOf map[analysis.LockID]string, held analysis.LockSet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for id := range held {
+		if c := classOf[id]; c != "" && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expandEdges closes the call graph (which classes does each function
+// transitively acquire?) and turns held calls into edges alongside the
+// direct ones. One edge survives per (from, to) pair: the first in position
+// order, for deterministic diagnostics.
+func expandEdges(summaries map[*types.Func]*summary, direct []rawEdge, heldCalls []heldCall) map[string]map[string]rawEdge {
+	trans := map[*types.Func]map[string]bool{}
+	for fn, sum := range summaries {
+		t := make(map[string]bool, len(sum.acquires))
+		for c := range sum.acquires {
+			t[c] = true
+		}
+		trans[fn] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range summaries {
+			t := trans[fn]
+			for g := range sum.calls {
+				for c := range trans[g] {
+					if !t[c] {
+						t[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	all := direct
+	for _, hc := range heldCalls {
+		for to := range trans[hc.callee] {
+			for _, from := range hc.held {
+				if from != to {
+					all = append(all, rawEdge{from: from, to: to, pos: hc.pos, via: hc.callee.Name()})
+				}
+			}
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].from != all[j].from {
+			return all[i].from < all[j].from
+		}
+		if all[i].to != all[j].to {
+			return all[i].to < all[j].to
+		}
+		return all[i].pos < all[j].pos
+	})
+	edges := map[string]map[string]rawEdge{}
+	for _, e := range all {
+		if edges[e.from] == nil {
+			edges[e.from] = map[string]rawEdge{}
+		}
+		if _, dup := edges[e.from][e.to]; !dup {
+			edges[e.from][e.to] = e
+		}
+	}
+	return edges
+}
+
+// reportCycles finds ordering cycles and reports each once, at the first
+// edge out of its smallest class.
+func reportCycles(pass *analysis.ModulePass, edges map[string]map[string]rawEdge) {
+	froms := make([]string, 0, len(edges))
+	for f := range edges {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+
+	reported := map[string]bool{}
+	for _, from := range froms {
+		tos := make([]string, 0, len(edges[from]))
+		for t := range edges[from] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			back := findPath(edges, to, from)
+			if len(back) == 0 {
+				continue
+			}
+			// back runs to → … → from; the cycle node list is each node
+			// once, starting at from.
+			cycle := append([]string{from, to}, back[:len(back)-1]...)
+			key := cycleKey(cycle)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			first := edges[from][to]
+			pass.Reportf(first.pos, "lock-order cycle: %s", describeCycle(pass.Fset, edges, cycle))
+		}
+	}
+}
+
+// findPath returns the shortest path from → … → to as the node list after
+// `from` (BFS with sorted neighbor expansion for determinism), or nil.
+func findPath(edges map[string]map[string]rawEdge, from, to string) []string {
+	type item struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []item{{node: from}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.node == to {
+			return it.path
+		}
+		nexts := make([]string, 0, len(edges[it.node]))
+		for n := range edges[it.node] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, item{node: n, path: append(append([]string(nil), it.path...), n)})
+		}
+	}
+	return nil
+}
+
+// cycleKey canonicalizes a cycle's node set.
+func cycleKey(cycle []string) string {
+	nodes := append([]string(nil), cycle...)
+	sort.Strings(nodes)
+	return strings.Join(nodes, "\x00")
+}
+
+// describeCycle renders "A → B (file:line) → A (file:line, via g)".
+func describeCycle(fset *token.FileSet, edges map[string]map[string]rawEdge, cycle []string) string {
+	var sb strings.Builder
+	sb.WriteString(shortClass(cycle[0]))
+	for i := range cycle {
+		from := cycle[i]
+		to := cycle[(i+1)%len(cycle)]
+		e := edges[from][to]
+		p := fset.Position(e.pos)
+		sb.WriteString(" → ")
+		sb.WriteString(shortClass(to))
+		if e.via != "" {
+			fmt.Fprintf(&sb, " (%s:%d, via %s)", filepath.Base(p.Filename), p.Line, e.via)
+		} else {
+			fmt.Fprintf(&sb, " (%s:%d)", filepath.Base(p.Filename), p.Line)
+		}
+	}
+	return sb.String()
+}
+
+// shortClass drops the package path prefix down to its last segment:
+// "eventmatch/internal/server.pool.mu" → "server.pool.mu".
+func shortClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

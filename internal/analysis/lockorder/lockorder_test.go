@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"eventmatch/internal/analysis/analysistest"
+	"eventmatch/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata",
+		"eventmatch/internal/server/store",
+		"eventmatch/internal/server",
+	)
+}

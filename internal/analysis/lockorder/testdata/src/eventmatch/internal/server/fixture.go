@@ -1,0 +1,108 @@
+// Fixture for the lockorder analyzer: a direct two-lock cycle and a cycle
+// through a helper call are flagged, consistent orderings (including a
+// cross-package edge into the store fixture) are accepted, and a reasoned
+// ignore suppresses a known-benign inversion.
+package server
+
+import (
+	"sync"
+
+	"eventmatch/internal/server/store"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+type I struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+	c C
+	d D
+	e E
+	f F
+	g G
+	h H
+	i I
+)
+
+// Flagged: lockAB and lockBA acquire the same two locks in opposite orders.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: server.A.mu → server.B.mu \(fixture.go:\d+\) → server.A.mu \(fixture.go:\d+\)`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Flagged: the C→D edge is created through a helper, so the diagnostic
+// names the call chain.
+func lockCviaCall() {
+	c.mu.Lock()
+	helperLockD() // want `lock-order cycle: server.C.mu → server.D.mu \(fixture.go:\d+, via helperLockD\) → server.C.mu \(fixture.go:\d+\)`
+	c.mu.Unlock()
+}
+
+func helperLockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDC() {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Accepted: every path agrees on H before I.
+func lockHI() {
+	h.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	h.mu.Unlock()
+}
+
+func lockHIAgain() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// Accepted: a one-way cross-package edge (server.G.mu → store.Index.mu via
+// store.Touch) with nothing locking back.
+func lockGThenStore() {
+	g.mu.Lock()
+	store.Touch()
+	g.mu.Unlock()
+}
+
+// Suppressed: the inversion against lockFE is known-unreachable in this
+// configuration, so the report site carries a reasoned ignore.
+func lockEF() {
+	e.mu.Lock()
+	//matchlint:ignore lockorder -- E and F callers are serialized upstream; inversion is unreachable
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func lockFE() {
+	f.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

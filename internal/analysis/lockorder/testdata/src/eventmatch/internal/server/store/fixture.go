@@ -1,0 +1,15 @@
+// Store-side half of the cross-package lockorder fixture: Touch acquires
+// only the store lock, so server code calling it while holding a server
+// lock creates a one-way server→store edge — consistent ordering, no cycle.
+package store
+
+import "sync"
+
+type Index struct{ mu sync.Mutex }
+
+var Shared Index
+
+func Touch() {
+	Shared.mu.Lock()
+	Shared.mu.Unlock()
+}

@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file recognizes sync.Mutex / sync.RWMutex / sync.Locker / sync.Cond
+// operations in type-checked source and runs the held-lock dataflow the
+// concurrency analyzers (lockheld, condprotocol, lockorder) share.
+//
+// Lock identity is intra-procedural and syntactic-plus-semantic: two lock
+// operations act on the same lock when both the final selected object (the
+// field or variable holding the mutex) and the printed receiver expression
+// agree. The object alone would conflate a.mu with b.mu (same field, two
+// values); the string alone would conflate shadowed locals. Cross-function
+// aggregation (lockorder) instead names locks by LockClass, which is
+// position-independent.
+
+// LockID identifies one lock within one function.
+type LockID struct {
+	// Obj is the variable or field holding the lock (nil when the receiver
+	// is too dynamic to resolve, e.g. a map index).
+	Obj types.Object
+	// Expr is the receiver expression as printed ("p.mu").
+	Expr string
+}
+
+// LockSet is an immutable set of held locks; With/Without copy on write so
+// facts can be shared across CFG edges.
+type LockSet map[LockID]bool
+
+// With returns the set plus id.
+func (s LockSet) With(id LockID) LockSet {
+	if s[id] {
+		return s
+	}
+	out := make(LockSet, len(s)+1)
+	for k := range s {
+		out[k] = true
+	}
+	out[id] = true
+	return out
+}
+
+// Without returns the set minus id.
+func (s LockSet) Without(id LockID) LockSet {
+	if !s[id] {
+		return s
+	}
+	out := make(LockSet, len(s)-1)
+	for k := range s {
+		if k != id {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// LockSetsEqual reports set equality.
+func LockSetsEqual(a, b LockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// LockSetUnion is the may-analysis join.
+func LockSetUnion(a, b LockSet) LockSet {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(LockSet, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// LockSetIntersect is the must-analysis join.
+func LockSetIntersect(a, b LockSet) LockSet {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make(LockSet, len(a))
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// MutexOpKind distinguishes the four lock-protocol calls.
+type MutexOpKind int
+
+const (
+	OpLock MutexOpKind = iota
+	OpUnlock
+	OpRLock
+	OpRUnlock
+)
+
+// MutexOp is one recognized lock operation.
+type MutexOp struct {
+	Kind MutexOpKind
+	ID   LockID
+	Recv ast.Expr // the receiver expression ("p.mu" in p.mu.Lock())
+	Call *ast.CallExpr
+}
+
+// ClassifyMutexOp recognizes x.Lock / Unlock / RLock / RUnlock where x is a
+// sync.Mutex, sync.RWMutex, or sync.Locker (so c.L.Lock() through a Cond
+// counts). TryLock is deliberately not classified: its acquisition is
+// conditional on the return value, which a path-insensitive lattice cannot
+// track, and treating it as an unconditional Lock would manufacture false
+// positives.
+func ClassifyMutexOp(info *types.Info, call *ast.CallExpr) (MutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return MutexOp{}, false
+	}
+	var kind MutexOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = OpLock
+	case "Unlock":
+		kind = OpUnlock
+	case "RLock":
+		kind = OpRLock
+	case "RUnlock":
+		kind = OpRUnlock
+	default:
+		return MutexOp{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isLockerType(tv.Type) {
+		return MutexOp{}, false
+	}
+	return MutexOp{
+		Kind: kind,
+		ID:   LockID{Obj: FinalObj(info, sel.X), Expr: types.ExprString(sel.X)},
+		Recv: sel.X,
+		Call: call,
+	}, true
+}
+
+// isLockerType reports whether t (possibly behind a pointer) is sync.Mutex,
+// sync.RWMutex, or the sync.Locker interface.
+func isLockerType(t types.Type) bool {
+	switch syncTypeName(t) {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// syncTypeName returns the name of t's defining type when it is declared in
+// package sync (dereferencing one pointer level), else "".
+func syncTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// FinalObj resolves the variable or field an expression ultimately names:
+// the p in `p`, the mu in `p.mu` or `(&s.inner).mu`. Expressions that do not
+// end in a name (index results, calls) resolve to nil.
+func FinalObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			return info.Uses[x.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+// WalkLockOps walks one atomic CFG node in evaluation order, invoking visit
+// for every call expression with the lock set held immediately before that
+// call, applying recognized lock/unlock operations as it goes, and returning
+// the set after the node. Calls under `go` and `defer` do not execute at
+// this point, so the walk does not descend into either (a deferred Unlock
+// keeps the lock held through the rest of the function, which is exactly the
+// defer's semantics for a forward analysis). visit may be nil.
+func WalkLockOps(info *types.Info, n ast.Node, in LockSet, visit func(call *ast.CallExpr, held LockSet)) LockSet {
+	out := in
+	VisitAtomic(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if visit != nil {
+				visit(m, out)
+			}
+			if op, ok := ClassifyMutexOp(info, m); ok {
+				switch op.Kind {
+				case OpLock, OpRLock:
+					out = out.With(op.ID)
+				case OpUnlock, OpRUnlock:
+					out = out.Without(op.ID)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// HeldLocks runs the held-lock analysis over one function CFG. must=true
+// joins with intersection (a lock is held only if held on every path —
+// what lockheld and condprotocol assert against); must=false joins with
+// union (a lock may be held — what lockorder builds its edges from).
+func HeldLocks(info *types.Info, g *CFG, must bool) (in []LockSet, reached []bool) {
+	join := LockSetUnion
+	if must {
+		join = LockSetIntersect
+	}
+	return Forward(g, FlowProblem[LockSet]{
+		Entry: LockSet{},
+		Transfer: func(n ast.Node, in LockSet) LockSet {
+			return WalkLockOps(info, n, in, nil)
+		},
+		Join:  join,
+		Equal: LockSetsEqual,
+	})
+}
+
+// CondOpKind distinguishes the three condition-variable calls.
+type CondOpKind int
+
+const (
+	CondWait CondOpKind = iota
+	CondSignal
+	CondBroadcast
+)
+
+// CondOp is one recognized sync.Cond operation.
+type CondOp struct {
+	Kind CondOpKind
+	Recv ast.Expr // the cond expression ("p.cond" in p.cond.Wait())
+	Call *ast.CallExpr
+}
+
+// ClassifyCondOp recognizes c.Wait / Signal / Broadcast on a *sync.Cond.
+func ClassifyCondOp(info *types.Info, call *ast.CallExpr) (CondOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return CondOp{}, false
+	}
+	var kind CondOpKind
+	switch sel.Sel.Name {
+	case "Wait":
+		kind = CondWait
+	case "Signal":
+		kind = CondSignal
+	case "Broadcast":
+		kind = CondBroadcast
+	default:
+		return CondOp{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || syncTypeName(tv.Type) != "Cond" {
+		return CondOp{}, false
+	}
+	return CondOp{Kind: kind, Recv: sel.X, Call: call}, true
+}
+
+// CondBindings scans a package's files for sync.NewCond(&lock) construction
+// sites and maps each cond variable or field (by its final object) to the
+// lock object its L was bound to. Assignments, var declarations, and struct
+// composite literals are all recognized; a cond bound twice to different
+// locks keeps the last binding seen (no real code does this).
+func CondBindings(info *types.Info, files []*ast.File) map[types.Object]types.Object {
+	bind := map[types.Object]types.Object{}
+	record := func(condExpr ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		fn := CalleeFunc(info, call)
+		if fn == nil || fn.Name() != "NewCond" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		cond := FinalObj(info, condExpr)
+		lock := FinalObj(info, call.Args[0])
+		if cond != nil && lock != nil {
+			bind[cond] = lock
+		}
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					record(key, n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return bind
+}
+
+// CalleeFunc statically resolves a call's target function or method. Calls
+// of function values (fields, locals, parameters) resolve to nil — a
+// flow-insensitive analysis cannot see through them.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// LockClass names a lock position-independently for cross-function and
+// cross-package aggregation: "pkg/path.TypeName.field" for a mutex held in
+// a struct field (the owner type is the type whose field is selected, so
+// every instance of that struct shares a class — the right granularity for
+// ordering), or "pkg/path.varname" for a package-level mutex variable.
+// Locals and receivers the type-checker cannot name return ok=false.
+func LockClass(info *types.Info, recv ast.Expr) (string, bool) {
+	recv = ast.Unparen(recv)
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		field := info.Uses[x.Sel]
+		if field == nil {
+			return "", false
+		}
+		tv, ok := info.Types[x.X]
+		if !ok {
+			return "", false
+		}
+		t := tv.Type
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name(), true
+	case *ast.Ident:
+		obj := FinalObj(info, x)
+		if obj == nil || obj.Pkg() == nil {
+			return "", false
+		}
+		// Only package-level variables have a stable cross-function name.
+		if obj.Parent() != obj.Pkg().Scope() {
+			return "", false
+		}
+		return obj.Pkg().Path() + "." + obj.Name(), true
+	}
+	return "", false
+}

@@ -13,7 +13,7 @@
 // keys (or values) into a slice — `keys = append(keys, k)` — is not flagged,
 // since the collected slice is there to be sorted. Where unordered iteration
 // is genuinely intended — random cache-eviction victims, set membership
-// updates — suppress the finding with `//matchlint:ignore mapiter <reason>`
+// updates — suppress the finding with `//matchlint:ignore mapiter -- <reason>`
 // on or above the line.
 package mapiter
 

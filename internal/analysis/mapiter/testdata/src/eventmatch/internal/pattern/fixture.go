@@ -41,7 +41,7 @@ func collectValues(m map[int]float64) []float64 {
 }
 
 func evictOne(m map[string]int) {
-	//matchlint:ignore mapiter random eviction victim is the point
+	//matchlint:ignore mapiter -- random eviction victim is the point
 	for k := range m {
 		delete(m, k)
 		return

@@ -421,7 +421,7 @@ func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (floa
 	sh.mu.Lock()
 	if max > 0 {
 		for int64(len(sh.m)) >= max {
-			//matchlint:ignore mapiter random-victim eviction: map order is the point
+			//matchlint:ignore mapiter -- random-victim eviction: map order is the point
 			for victim := range sh.m {
 				delete(sh.m, victim)
 				break

@@ -214,6 +214,7 @@ func (s *jobStore) add(j *job) {
 		kept := s.order[:0]
 		for _, old := range s.order {
 			if over > 0 && old != j {
+				//matchlint:ignore lockheld -- jobStore.mu → job.mu is the module's lock order; lockorder verifies no path inverts it
 				old.mu.Lock()
 				terminal := old.state.Terminal()
 				old.mu.Unlock()

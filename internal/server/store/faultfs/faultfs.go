@@ -208,7 +208,19 @@ func (f *FS) Rename(oldpath, newpath string) error {
 	if err := f.dead(); err != nil {
 		return err
 	}
+	//matchlint:ignore fsyncorder -- pass-through wrapper; the store's publishing sites own the SyncDir protocol
 	return f.inner.Rename(oldpath, newpath)
+}
+
+// SyncDir implements store.FS. It honors only the crash fault: the
+// file-sync faults (FailSync, SlowSync) model fsync on data files, and
+// routing directory syncs through them would deadlock tests that count
+// ReleaseSync calls against journal appends.
+func (f *FS) SyncDir(path string) error {
+	if err := f.dead(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
 }
 
 // Stat implements store.FS.

@@ -22,6 +22,10 @@ type FS interface {
 	ReadFile(path string) ([]byte, error)
 	// Rename atomically replaces newpath with oldpath (os.Rename semantics).
 	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs the directory at path. A rename is only durable once
+	// the directory holding the new entry is synced; callers must invoke
+	// this after every publishing Rename.
+	SyncDir(path string) error
 	// Stat describes path.
 	Stat(path string) (fs.FileInfo, error)
 	// Remove deletes path (best-effort temp cleanup).
@@ -54,7 +58,21 @@ func (OSFS) Create(path string) (File, error) { return os.Create(path) }
 func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 
 // Rename implements FS.
-func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) } //matchlint:ignore fsyncorder -- interface plumbing: each publishing site in store.go calls SyncDir itself
+
+// SyncDir implements FS by opening the directory and fsyncing it, which is
+// how POSIX makes the entries inside durable.
+func (OSFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Stat implements FS.
 func (OSFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
