@@ -24,6 +24,9 @@
 //	                 ("10/s,200/m"); over-limit submissions get 429 with a
 //	                 limiter-derived Retry-After. Empty = no rate limiting
 //	-search-workers  per-job search parallelism and its clamp (default 1)
+//	-max-sessions    concurrently live streaming sessions (default 8)
+//	-session-backlog per-session bound on traces admitted ahead of the last
+//	                 published mapping; beyond it appends get 429 (default 256)
 //	-deadline        default per-job search budget (default 30s)
 //	-max-deadline    clamp for client-requested budgets (default 5m)
 //	-max-upload-bytes  request body / per-log size cap (default 32 MiB)
@@ -82,6 +85,8 @@ type daemonOptions struct {
 	tenantWeights    string
 	tenantRates      string
 	searchWorkers    int
+	maxSessions      int
+	sessionBacklog   int
 	deadline         time.Duration
 	maxDeadline      time.Duration
 	maxUploadBytes   int64
@@ -112,6 +117,8 @@ func parseFlags(fs *flag.FlagSet, args []string) daemonOptions {
 	fs.StringVar(&o.tenantWeights, "tenant-weights", "", "weighted-fair tenant weights, e.g. alpha=3,beta=1")
 	fs.StringVar(&o.tenantRates, "tenant-rates", "", "per-tenant rate limits, e.g. 10/s,200/m (empty = unlimited)")
 	fs.IntVar(&o.searchWorkers, "search-workers", 1, "per-job search parallelism")
+	fs.IntVar(&o.maxSessions, "max-sessions", 8, "concurrently live streaming sessions")
+	fs.IntVar(&o.sessionBacklog, "session-backlog", 256, "per-session append backlog (traces ahead of the matcher)")
 	fs.DurationVar(&o.deadline, "deadline", 30*time.Second, "default per-job search budget")
 	fs.DurationVar(&o.maxDeadline, "max-deadline", 5*time.Minute, "clamp for client-requested budgets")
 	fs.Int64Var(&o.maxUploadBytes, "max-upload-bytes", 32<<20, "request body size cap")
@@ -172,6 +179,8 @@ func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(ad
 		TenantWeights:    weights,
 		TenantRates:      rates,
 		SearchWorkers:    o.searchWorkers,
+		MaxSessions:      o.maxSessions,
+		SessionBacklog:   o.sessionBacklog,
 		DefaultDeadline:  o.deadline,
 		MaxDeadline:      o.maxDeadline,
 		MaxUploadBytes:   o.maxUploadBytes,
@@ -183,6 +192,8 @@ func run(ctx context.Context, o daemonOptions, stdout io.Writer, onReady func(ad
 		sum := srv.Recover(recovery)
 		fmt.Fprintf(stdout, "eventmatchd: recovered %d jobs from %s (%d results on disk, %d requeued, %d unrecoverable; %d torn records dropped)\n",
 			sum.Jobs, o.dataDir, sum.Results, sum.Requeued, sum.Failed, recovery.Torn)
+		fmt.Fprintf(stdout, "eventmatchd: recovered %d sessions (%d resumed live)\n",
+			sum.Sessions, sum.SessionsResumed)
 	}
 
 	ln, err := net.Listen("tcp", o.addr)

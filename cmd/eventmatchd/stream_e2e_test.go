@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"eventmatch/internal/server"
+	"eventmatch/internal/server/client"
+)
+
+// fig1StreamInputs renders Fig. 1 as a streaming workload: the open-session
+// fixed side plus the target log as trace lines to append.
+func fig1StreamInputs(t *testing.T) (open server.OpenSessionRequest, lines []string) {
+	t.Helper()
+	log1, log2, patterns, _ := fig1Inputs(t)
+	for _, ln := range strings.Split(string(log2), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines = append(lines, ln)
+		}
+	}
+	var pats []string
+	for _, p := range strings.Split(string(patterns), "\n") {
+		if strings.TrimSpace(p) != "" {
+			pats = append(pats, p)
+		}
+	}
+	return server.OpenSessionRequest{
+		Log1:      server.LogPayload{Data: string(log1)},
+		Patterns:  pats,
+		Algorithm: "exact",
+	}, lines
+}
+
+// batchPrefix runs one batch job over the first n target traces and returns
+// its result — the reference the streamed mapping must match bit for bit.
+func batchPrefix(t *testing.T, ctx context.Context, c *client.Client, open server.OpenSessionRequest, lines []string, n int) server.JobResult {
+	t.Helper()
+	st, err := c.Submit(ctx, server.SubmitRequest{
+		Log1:      open.Log1,
+		Log2:      server.LogPayload{Format: "log", Data: strings.Join(lines[:n], "\n") + "\n"},
+		Patterns:  open.Patterns,
+		Algorithm: open.Algorithm,
+		TimeoutMS: 60_000,
+	})
+	if err != nil {
+		t.Fatalf("batch submit over %d traces: %v", n, err)
+	}
+	final, err := c.Wait(ctx, st.ID, 5*time.Millisecond)
+	if err != nil || final.State != server.StateDone {
+		t.Fatalf("batch wait over %d traces: %v (state %s, %s)", n, err, final.State, final.Error)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("batch result over %d traces: %v", n, err)
+	}
+	return res
+}
+
+// requirePairsEqual fails unless the streamed update and the batch result
+// carry the identical name-level mapping and score (1 ulp score tolerance).
+func requirePairsEqual(t *testing.T, what string, up *server.SessionUpdate, ref server.JobResult) {
+	t.Helper()
+	if up == nil {
+		t.Fatalf("%s: no session update", what)
+	}
+	if len(up.Pairs) != len(ref.Pairs) {
+		t.Fatalf("%s: streamed %d pairs, batch %d\nstreamed: %v\nbatch: %v",
+			what, len(up.Pairs), len(ref.Pairs), up.Pairs, ref.Pairs)
+	}
+	for k, v := range ref.Pairs {
+		if up.Pairs[k] != v {
+			t.Fatalf("%s: pair %s streamed %q, batch %q", what, k, up.Pairs[k], v)
+		}
+	}
+	if math.Abs(up.Score-ref.Score) > 1e-9 {
+		t.Fatalf("%s: streamed score %v, batch %v", what, up.Score, ref.Score)
+	}
+}
+
+// TestE2EStream is the CI streaming gate (set EVENTMATCHD_E2E=1): the real
+// daemon serves a long-lived session over the Fig. 1 workload. Target traces
+// arrive in randomized chunk sizes; after every chunk the streamed mapping
+// must be bit-identical to a batch job over the same prefix. Mid-stream the
+// daemon is kill -9'd and restarted on the same data dir: the journaled
+// deltas replay, the session comes back open and converged, accepts the rest
+// of the stream, and its clean close carries the same final mapping as the
+// full batch run — which must also survive one more restart as a journaled
+// terminal record.
+func TestE2EStream(t *testing.T) {
+	if os.Getenv("EVENTMATCHD_E2E") != "1" {
+		t.Skip("set EVENTMATCHD_E2E=1 to run the streaming gate")
+	}
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("chunk seed %d", seed)
+
+	dataDir := t.TempDir()
+	open, lines := fig1StreamInputs(t)
+	durableArgs := []string{
+		"-addr", "127.0.0.1:0",
+		"-workers", "1",
+		"-data-dir", dataDir,
+		"-session-backlog", "64",
+	}
+	cmd, addr, stderr := startDaemon(t, durableArgs...)
+	killed := false
+	defer func() {
+		if !killed && cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	c := client.New("http://"+addr, nil).WithRetry(client.DefaultRetryPolicy())
+
+	// 1. Open the session and stream a random first half, checking every
+	// prefix against its batch reference.
+	st, err := c.OpenSession(ctx, open)
+	if err != nil {
+		t.Fatalf("open session: %v; stderr:\n%s", err, stderr.String())
+	}
+	if st.State != server.SessionOpen {
+		t.Fatalf("session opened in state %s", st.State)
+	}
+	half := len(lines) / 2
+	if half == 0 {
+		half = 1
+	}
+	sent := 0
+	for sent < half {
+		n := 1 + rng.Intn(3)
+		if sent+n > half {
+			n = half - sent
+		}
+		ack, err := c.AppendSession(ctx, st.ID, lines[sent:sent+n])
+		if err != nil {
+			t.Fatalf("append [%d:%d): %v", sent, sent+n, err)
+		}
+		sent += n
+		if ack.Accepted != sent {
+			t.Fatalf("accepted %d after %d traces", ack.Accepted, sent)
+		}
+		cur, err := c.WaitSessionCaughtUp(ctx, st.ID, 0)
+		if err != nil {
+			t.Fatalf("catch-up at %d traces: %v", sent, err)
+		}
+		requirePairsEqual(t, fmt.Sprintf("prefix %d", sent),
+			cur.Update, batchPrefix(t, ctx, c, open, lines, sent))
+	}
+
+	// 2. Crash hard mid-stream: no drain, no terminal record. The journaled
+	// session deltas are all the next boot gets.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+
+	cmd2, addr2, stderr2 := startDaemon(t, durableArgs...)
+	defer func() {
+		if cmd2.ProcessState == nil {
+			cmd2.Process.Kill()
+			cmd2.Wait()
+		}
+	}()
+	c2 := client.New("http://"+addr2, nil).WithRetry(client.DefaultRetryPolicy())
+
+	// 3. The session came back open with every admitted trace replayed, and
+	// converges to the same mapping the pre-crash session had published.
+	cur, err := c2.WaitSessionCaughtUp(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatalf("recovered catch-up: %v; stderr:\n%s", err, stderr2.String())
+	}
+	if cur.State != server.SessionOpen {
+		t.Fatalf("recovered session state %s (%s)", cur.State, cur.Error)
+	}
+	if cur.Accepted != sent {
+		t.Fatalf("recovered session admitted %d traces, want %d", cur.Accepted, sent)
+	}
+	requirePairsEqual(t, "post-crash prefix",
+		cur.Update, batchPrefix(t, ctx, c2, open, lines, sent))
+
+	// 4. Stream the rest into the recovered session, watching the push
+	// endpoint concurrently; then close and require the final mapping to
+	// equal the full batch run.
+	watchErr := make(chan error, 1)
+	var watched []server.SessionUpdate
+	go func() {
+		watchErr <- c2.WatchSession(ctx, st.ID, func(up server.SessionUpdate) bool {
+			watched = append(watched, up)
+			return true
+		})
+	}()
+	for sent < len(lines) {
+		n := 1 + rng.Intn(3)
+		if sent+n > len(lines) {
+			n = len(lines) - sent
+		}
+		if _, err := c2.AppendSession(ctx, st.ID, lines[sent:sent+n]); err != nil {
+			t.Fatalf("append [%d:%d) after recovery: %v", sent, sent+n, err)
+		}
+		sent += n
+	}
+	if _, err := c2.CloseSession(ctx, st.ID); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fin, err := c2.WaitSessionTerminal(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatalf("wait terminal: %v", err)
+	}
+	if fin.State != server.SessionClosed {
+		t.Fatalf("session ended %s (%s), want closed", fin.State, fin.Error)
+	}
+	if fin.Update == nil || !fin.Update.Final || fin.Update.Revision != len(lines) {
+		t.Fatalf("final update %+v, want final revision %d", fin.Update, len(lines))
+	}
+	fullRef := batchPrefix(t, ctx, c2, open, lines, len(lines))
+	requirePairsEqual(t, "final", fin.Update, fullRef)
+
+	// The watch stream ended with the session and saw monotone revisions up
+	// to the final marker.
+	select {
+	case err := <-watchErr:
+		if err != nil {
+			t.Fatalf("watch: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch stream never ended")
+	}
+	if len(watched) == 0 {
+		t.Fatal("watch saw no updates")
+	}
+	for i := 1; i < len(watched); i++ {
+		if watched[i].Revision < watched[i-1].Revision {
+			t.Fatalf("watched revisions went backwards: %d then %d",
+				watched[i-1].Revision, watched[i].Revision)
+		}
+	}
+	if last := watched[len(watched)-1]; !last.Final || last.Revision != len(lines) {
+		t.Fatalf("last watched update %+v, want final revision %d", last, len(lines))
+	}
+
+	// 5. One more restart: the closed session must come back terminal with
+	// the journaled final mapping, served without a live core.
+	cmd2.Process.Kill()
+	cmd2.Wait()
+	cmd3, addr3, stderr3 := startDaemon(t, durableArgs...)
+	defer func() {
+		if cmd3.ProcessState == nil {
+			cmd3.Process.Kill()
+			cmd3.Wait()
+		}
+	}()
+	c3 := client.New("http://"+addr3, nil).WithRetry(client.DefaultRetryPolicy())
+	again, err := c3.Session(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("restored terminal status: %v; stderr:\n%s", err, stderr3.String())
+	}
+	if again.State != server.SessionClosed {
+		t.Fatalf("restored session state %s, want closed", again.State)
+	}
+	requirePairsEqual(t, "restored final", again.Update, fullRef)
+}

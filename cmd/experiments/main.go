@@ -21,13 +21,13 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset of experiments to run (default: all; 'benchfreq' runs only when named)")
+	only := flag.String("only", "", "comma-separated subset of experiments to run (default: all; 'benchfreq' and 'benchstream' run only when named)")
 	quick := flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	seed := flag.Int64("seed", 7, "workload seed")
 	budget := flag.Duration("budget", 60*time.Second, "per-run budget for exact approaches")
-	benchOut := flag.String("bench-out", "", "benchfreq: write the measured BENCH_freq.json document to this path")
-	benchGate := flag.String("bench-gate", "", "benchfreq: fail if allocs/op regressed >20% vs this committed BENCH_freq.json")
-	benchReps := flag.Int("bench-reps", 0, "benchfreq: timed repetitions per point (0 = default)")
+	benchOut := flag.String("bench-out", "", "benchfreq/benchstream: write the measured bench document to this path")
+	benchGate := flag.String("bench-gate", "", "benchfreq/benchstream: fail if allocs/op regressed >20% vs this committed document")
+	benchReps := flag.Int("bench-reps", 0, "benchfreq/benchstream: timed repetitions per point (0 = default)")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, ExactBudget: *budget}
@@ -53,6 +53,19 @@ func main() {
 			os.Exit(1)
 		}
 		delete(want, "benchfreq")
+		if len(want) == 0 {
+			return
+		}
+	}
+	// Same opt-in rule for the streaming-maintenance rig. The -bench-out /
+	// -bench-gate flags are shared, so name only one rig per invocation when
+	// using them.
+	if want["benchstream"] {
+		if err := runBenchStream(*benchOut, *benchGate, *benchReps); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		delete(want, "benchstream")
 		if len(want) == 0 {
 			return
 		}
@@ -91,6 +104,39 @@ func runBenchFreq(outPath, gatePath string, reps int) error {
 	}
 	if outPath != "" {
 		if err := experiments.WriteBenchFreq(outPath, doc); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// runBenchStream measures per-append index maintenance — the streaming
+// delta path vs a from-scratch rebuild (see
+// internal/experiments/benchstream.go) — optionally gates the delta path's
+// allocs/append against a committed BENCH_stream.json, and optionally
+// writes the fresh document.
+func runBenchStream(outPath, gatePath string, reps int) error {
+	doc, err := experiments.RunBenchStream(experiments.BenchStreamOptions{Reps: reps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchstream: %s\n  workload: %s\n", doc.Benchmark, doc.Workload)
+	fmt.Printf("  rebuild  %-48s %12d ns/append %8d allocs/append\n", doc.Rebuild.Path, doc.Rebuild.NsPerAppend, doc.Rebuild.AllocsPerAppend)
+	fmt.Printf("  delta    %-48s %12d ns/append %8d allocs/append  %.0fx vs rebuild\n",
+		doc.Delta.Path, doc.Delta.NsPerAppend, doc.Delta.AllocsPerAppend, doc.SpeedupVsRebuild)
+	if gatePath != "" {
+		committed, err := experiments.ReadBenchStream(gatePath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.GateBenchStream(committed, doc); err != nil {
+			return err
+		}
+		fmt.Printf("  gate: ok (delta allocs/append within 20%% of %s)\n", gatePath)
+	}
+	if outPath != "" {
+		if err := experiments.WriteBenchStream(outPath, doc); err != nil {
 			return err
 		}
 		fmt.Printf("  wrote %s\n", outPath)

@@ -163,6 +163,63 @@ func (l *Log) AppendNames(names ...string) {
 	l.Append(t)
 }
 
+// Delta describes one appended trace in the form the incremental index
+// layer consumes: which trace arrived, which distinct events it touches,
+// and which event ids the append interned for the first time. Consumers
+// (pattern.TraceIndex.Apply, pattern.FrequencyCache.Invalidate) use it to
+// update derived state without a from-scratch rebuild.
+type Delta struct {
+	// TraceIndex is the position the trace was appended at.
+	TraceIndex int
+	// Trace is the appended trace itself.
+	Trace Trace
+	// Events holds the trace's distinct events in first-occurrence order.
+	Events []ID
+	// NewEvents holds the ids this append interned into the alphabet,
+	// in ascending order. Empty when every event was already known.
+	NewEvents []ID
+}
+
+// AppendDelta appends t and returns the delta describing the append.
+func (l *Log) AppendDelta(t Trace) Delta {
+	l.Traces = append(l.Traces, t)
+	return Delta{TraceIndex: len(l.Traces) - 1, Trace: t, Events: t.distinct()}
+}
+
+// AppendNamesDelta interns the given names, appends the resulting trace and
+// returns the delta, including any ids the append added to the alphabet.
+func (l *Log) AppendNamesDelta(names ...string) Delta {
+	before := ID(l.Alphabet.Len())
+	t := make(Trace, len(names))
+	for i, n := range names {
+		t[i] = l.Alphabet.Intern(n)
+	}
+	d := l.AppendDelta(t)
+	for id := before; id < ID(l.Alphabet.Len()); id++ {
+		d.NewEvents = append(d.NewEvents, id)
+	}
+	return d
+}
+
+// distinct returns the trace's distinct events in first-occurrence order.
+// Traces are short relative to alphabets, so the quadratic scan beats a map.
+func (t Trace) distinct() []ID {
+	out := make([]ID, 0, len(t))
+	for _, e := range t {
+		seen := false
+		for _, s := range out {
+			if s == e {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // NumTraces reports the number of traces in the log.
 func (l *Log) NumTraces() int { return len(l.Traces) }
 

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/gen"
+	"eventmatch/internal/pattern"
+)
+
+// The streaming bench rig: a fixed-workload, reproducible measurement of
+// per-append index maintenance, recorded as BENCH_stream.json. It times the
+// two ways to keep a pattern.TraceIndex current while traces stream in:
+//
+//   - rebuild: append the trace and reconstruct the index from scratch
+//     (pattern.NewTraceIndex) — the pre-incremental reference behavior;
+//   - delta: event.Log.AppendDelta + pattern.TraceIndex.Apply — the
+//     streaming path the session layer runs on every admitted trace.
+//
+// One op = one appended trace folded into the index. The workload is the
+// pinned benchfreq instance (gen.LargeSynthetic(107, 5, 6000)): the rig
+// replays the last benchStreamTail traces as the "stream" over an index
+// prebuilt on the preceding prefix. Before timing, the delta path is
+// verified to leave an index with bit-identical pattern frequencies to a
+// from-scratch rebuild of the full log.
+//
+// CI gates on the delta path's allocs/op — deterministic on shared runners,
+// unlike ns/op — with the same 20% slack policy as BENCH_freq.json.
+
+// benchStreamTail is how many trailing traces of the pinned workload are
+// streamed. 256 spans several bitset-width growth boundaries (one re-layout
+// every 64 appends), so the measured mean includes re-layout cost at its
+// real amortized weight.
+const benchStreamTail = 256
+
+// BenchStreamOptions tunes measurement effort, not the workload.
+type BenchStreamOptions struct {
+	// Reps is the number of timed repetitions per path; the fastest rep is
+	// reported. 0 selects 3.
+	Reps int
+}
+
+// BenchStreamPoint is one measured maintenance path.
+type BenchStreamPoint struct {
+	Path            string `json:"path"`
+	NsPerAppend     int64  `json:"ns_per_append"`
+	AllocsPerAppend int64  `json:"allocs_per_append"`
+}
+
+// BenchStream is the BENCH_stream.json document.
+type BenchStream struct {
+	Benchmark        string           `json:"benchmark"`
+	Workload         string           `json:"workload"`
+	Go               string           `json:"go"`
+	Gomaxprocs       int              `json:"gomaxprocs"`
+	NumCPU           int              `json:"num_cpu"`
+	Reps             int              `json:"reps"`
+	TailTraces       int              `json:"tail_traces"`
+	Rebuild          BenchStreamPoint `json:"rebuild"`
+	Delta            BenchStreamPoint `json:"delta"`
+	SpeedupVsRebuild float64          `json:"speedup_vs_rebuild"`
+	Note             string           `json:"note"`
+}
+
+// prefixLog clones the workload's first cut traces into a fresh log sharing
+// the (append-only) alphabet, so every repetition streams over identical
+// starting state.
+func prefixLog(full *event.Log, cut int) *event.Log {
+	return &event.Log{
+		Alphabet: full.Alphabet,
+		Traces:   append([]event.Trace(nil), full.Traces[:cut]...),
+	}
+}
+
+// measureAppends times one maintenance path: per repetition, fresh prefix
+// state (untimed), then the tail streamed one trace at a time through step.
+// The fastest repetition's ns/append is reported with its allocs/append.
+func measureAppends(reps int, setup func() (*event.Log, *pattern.TraceIndex),
+	tail []event.Trace, step func(l *event.Log, ix *pattern.TraceIndex, t event.Trace) *pattern.TraceIndex) (nsPerOp, allocsPerOp int64) {
+	run := func() time.Duration {
+		l, ix := setup()
+		start := time.Now()
+		for _, t := range tail {
+			ix = step(l, ix, t)
+		}
+		return time.Since(start)
+	}
+	run() // warmup: faults pages and fills caches outside the timing
+	best := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		l, ix := setup()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for _, t := range tail {
+			ix = step(l, ix, t)
+		}
+		ns := time.Since(start).Nanoseconds() / int64(len(tail))
+		runtime.ReadMemStats(&m1)
+		if ns < best {
+			best = ns
+			allocsPerOp = int64(m1.Mallocs-m0.Mallocs) / int64(len(tail))
+		}
+	}
+	return best, allocsPerOp
+}
+
+// RunBenchStream measures per-append index maintenance on the pinned
+// workload and returns the BENCH_stream.json document. The delta path is
+// verified bit-identical to a full rebuild before anything is timed.
+func RunBenchStream(opts BenchStreamOptions) (*BenchStream, error) {
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 3
+	}
+
+	g := gen.LargeSynthetic(benchFreqSeed, benchFreqBlocks, benchFreqTraces)
+	full := g.L1
+	if full.NumTraces() <= benchStreamTail {
+		return nil, fmt.Errorf("benchstream: workload has only %d traces, need > %d", full.NumTraces(), benchStreamTail)
+	}
+	cut := full.NumTraces() - benchStreamTail
+	tail := append([]event.Trace(nil), full.Traces[cut:]...)
+
+	ps := make([]*pattern.Pattern, 0, len(g.Patterns))
+	for _, src := range g.Patterns {
+		p, err := pattern.ParseBind(src, full.Alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("benchstream: pattern %q: %w", src, err)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("benchstream: workload has no patterns")
+	}
+
+	// Correctness first: stream the tail through the delta path once and
+	// require every pattern frequency to match a from-scratch rebuild of the
+	// full log, bit for bit.
+	{
+		l := prefixLog(full, cut)
+		ix := pattern.NewTraceIndex(l)
+		for _, t := range tail {
+			ix.Apply(l.AppendDelta(t))
+		}
+		inc := pattern.NewEngine(ix, 1)
+		ref := pattern.NewEngine(pattern.NewTraceIndex(full), 1)
+		for i, p := range ps {
+			if got, want := inc.Frequency(p), ref.Frequency(p); got != want {
+				return nil, fmt.Errorf("benchstream: frequency mismatch after delta replay, pattern %d: incremental %v != rebuild %v",
+					i, got, want)
+			}
+		}
+	}
+
+	doc := &BenchStream{
+		Benchmark: "TraceIndex per-append maintenance (streaming delta vs from-scratch rebuild)",
+		Workload: fmt.Sprintf("gen.LargeSynthetic(%d, %d, %d): %d events; stream = last %d of %d traces over a prebuilt prefix index",
+			benchFreqSeed, benchFreqBlocks, benchFreqTraces,
+			full.NumEvents(), benchStreamTail, full.NumTraces()),
+		Go:         runtime.Version(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+		TailTraces: benchStreamTail,
+		Note: "one op = one appended trace folded into the index; the tail spans several 64-append bitset " +
+			"re-layout boundaries, so re-layout cost is included at its amortized weight. Frequencies are " +
+			"verified bit-identical between the delta path and a full rebuild before timing. CI gates on the " +
+			"delta path's allocs_per_append (deterministic), not ns (noisy on shared runners).",
+	}
+
+	setup := func() (*event.Log, *pattern.TraceIndex) {
+		l := prefixLog(full, cut)
+		return l, pattern.NewTraceIndex(l)
+	}
+	ns, allocs := measureAppends(reps, setup, tail,
+		func(l *event.Log, _ *pattern.TraceIndex, t event.Trace) *pattern.TraceIndex {
+			l.Append(t)
+			return pattern.NewTraceIndex(l)
+		})
+	doc.Rebuild = BenchStreamPoint{Path: "append + NewTraceIndex rebuild", NsPerAppend: ns, AllocsPerAppend: allocs}
+
+	ns, allocs = measureAppends(reps, setup, tail,
+		func(l *event.Log, ix *pattern.TraceIndex, t event.Trace) *pattern.TraceIndex {
+			ix.Apply(l.AppendDelta(t))
+			return ix
+		})
+	doc.Delta = BenchStreamPoint{Path: "AppendDelta + TraceIndex.Apply", NsPerAppend: ns, AllocsPerAppend: allocs}
+
+	doc.SpeedupVsRebuild = float64(doc.Rebuild.NsPerAppend) / float64(doc.Delta.NsPerAppend)
+	return doc, nil
+}
+
+// WriteBenchStream writes the document as indented JSON.
+func WriteBenchStream(path string, doc *BenchStream) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchStream parses a committed BENCH_stream.json.
+func ReadBenchStream(path string) (*BenchStream, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchStream
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("benchstream: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// GateBenchStream compares a fresh measurement against the committed
+// BENCH_stream.json and returns an error if the delta path's allocs/append
+// regressed by more than the benchfreq slack factor (20%).
+func GateBenchStream(committed, cur *BenchStream) error {
+	limit := int64(float64(committed.Delta.AllocsPerAppend) * benchFreqAllocSlack)
+	if cur.Delta.AllocsPerAppend > limit {
+		return fmt.Errorf("benchstream gate: delta-apply allocs/append regressed: %d > %d (committed %d + 20%% slack)",
+			cur.Delta.AllocsPerAppend, limit, committed.Delta.AllocsPerAppend)
+	}
+	return nil
+}

@@ -41,7 +41,13 @@ func (pr *Problem) applyCheckpointFloor(stop *stopper, m Mapping, st Stats, err 
 	if err != nil || stop.bestCkpt == nil {
 		return m, st
 	}
-	if m != nil && st.Score >= stop.bestCkptScore {
+	// Compare both candidates under the same summation (Distance, pattern
+	// order) rather than st.Score, which the goal path accumulates in
+	// expansion order: floating-point sums of the same terms can differ in
+	// the last ulp across orders, and a mathematical tie must deterministically
+	// keep the search result (the streaming layer relies on a re-seeded exact
+	// search returning exactly the cold-search mapping).
+	if m != nil && pr.Distance(m) >= stop.bestCkptScore {
 		return m, st
 	}
 	st.Score = stop.bestCkptScore
@@ -77,7 +83,10 @@ func (pr *Problem) applySeedFloor(opts Options, m Mapping, st Stats, err error) 
 		return m, st
 	}
 	seedScore := pr.Distance(opts.Seed)
-	if m != nil && st.Score >= seedScore {
+	// Same-summation comparison as applyCheckpointFloor: score m via Distance
+	// so a tie with the seed is bit-exact and the search result wins — a
+	// re-seeded exact search then returns the cold-search mapping unchanged.
+	if m != nil && pr.Distance(m) >= seedScore {
 		return m, st
 	}
 	st.Score = seedScore

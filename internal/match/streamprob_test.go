@@ -1,0 +1,231 @@
+package match
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/pattern"
+)
+
+// streamTrace draws a target-log trace over numeric names, occasionally
+// introducing a fresh name so the target alphabet grows mid-stream.
+func streamTrace(rng *rand.Rand, pool int) []string {
+	n := 1 + rng.Intn(5)
+	names := make([]string, n)
+	for i := range names {
+		id := rng.Intn(pool)
+		if rng.Intn(8) == 0 {
+			id = pool
+		}
+		names[i] = fmt.Sprintf("%d", id)
+	}
+	return names
+}
+
+// randomPartialMapping draws an injective partial mapping V1 → V2 ∪ {None}.
+func randomPartialMapping(rng *rand.Rand, n1, n2 int) Mapping {
+	m := NewMapping(n1)
+	perm := rng.Perm(n2)
+	j := 0
+	for i := 0; i < n1 && j < len(perm); i++ {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		m[i] = event.ID(perm[j])
+		j++
+	}
+	return m
+}
+
+// The incremental-problem differential property: after every append a
+// StreamProblem must be indistinguishable from a Problem freshly built over
+// the same grown log — padded sizes, dependency graph, distances of random
+// mappings, and the full A* search result, cold or re-seeded from the
+// previous mapping, all bit-identical.
+func TestStreamProblemDifferential(t *testing.T) {
+	l1 := event.FromStrings(
+		"A B C D",
+		"A C B D",
+		"A B C D",
+		"A C B",
+	)
+	user := []*pattern.Pattern{
+		pattern.MustSeq(
+			pattern.Single(l1.Alphabet.Lookup("A")),
+			pattern.MustAnd(
+				pattern.Single(l1.Alphabet.Lookup("B")),
+				pattern.Single(l1.Alphabet.Lookup("C")),
+			),
+		),
+	}
+
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l2 := event.NewLog() // empty start: the padded (|V1|>|V2|) regime
+			sp, err := NewStreamProblem(l1, l2, user, ModePattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var appended [][]string
+			var prev Mapping
+			for step := 0; step < 24; step++ {
+				tr := streamTrace(rng, 5)
+				appended = append(appended, tr)
+				sp.Append(tr...)
+
+				// From-scratch rebuild over an independent log with the same
+				// content.
+				freshL2 := event.NewLog()
+				for _, names := range appended {
+					freshL2.AppendNames(names...)
+				}
+				fresh, err := BuildProblem(l1, freshL2, user, ModePattern)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				pr := sp.Problem()
+				if pr.n2real != fresh.n2real || pr.n2pad != fresh.n2pad {
+					t.Fatalf("step %d: n2real/n2pad = %d/%d, rebuild %d/%d",
+						step, pr.n2real, pr.n2pad, fresh.n2real, fresh.n2pad)
+				}
+				for v := 0; v < pr.n2pad; v++ {
+					if got, want := pr.G2.VertexFreq(event.ID(v)), fresh.G2.VertexFreq(event.ID(v)); got != want {
+						t.Fatalf("step %d: G2 vertex %d freq = %v, rebuild %v", step, v, got, want)
+					}
+				}
+				ge, fe := pr.G2.Edges(), fresh.G2.Edges()
+				if len(ge) != len(fe) {
+					t.Fatalf("step %d: G2 has %d edges, rebuild %d", step, len(ge), len(fe))
+				}
+				for i := range ge {
+					if ge[i] != fe[i] {
+						t.Fatalf("step %d: G2 edge %d = %v, rebuild %v", step, i, ge[i], fe[i])
+					}
+					if got, want := pr.G2.EdgeFreq(ge[i].From, ge[i].To), fresh.G2.EdgeFreq(fe[i].From, fe[i].To); got != want {
+						t.Fatalf("step %d: G2 edge %v freq = %v, rebuild %v", step, ge[i], got, want)
+					}
+				}
+
+				for k := 0; k < 8; k++ {
+					m := randomPartialMapping(rng, l1.NumEvents(), pr.n2real)
+					if got, want := pr.Distance(m), fresh.Distance(m); got != want {
+						t.Fatalf("step %d: Distance(%v) = %v, rebuild %v", step, m, got, want)
+					}
+				}
+
+				// Full search parity: the re-seeded incremental search must
+				// return exactly the cold from-scratch optimum (A* is exact,
+				// and the seed floor yields to an equal-or-better search
+				// result).
+				opts := Options{Bound: BoundSharp}
+				if prev != nil {
+					opts.Seed = prev.Clone()
+				}
+				mi, si, err := pr.AStarContext(context.Background(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mf, sf, err := fresh.AStarContext(context.Background(), Options{Bound: BoundSharp})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Scores agree up to summation-order noise.
+				if d := si.Score - sf.Score; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("step %d: incremental score %v, rebuild %v", step, si.Score, sf.Score)
+				}
+				if len(mi) != len(mf) {
+					t.Fatalf("step %d: mapping lengths differ", step)
+				}
+				equal := true
+				for i := range mi {
+					if mi[i] != mf[i] {
+						equal = false
+						break
+					}
+				}
+				if !equal {
+					// The one sanctioned divergence: a mathematical tie between
+					// distinct optimal mappings whose float scores differ in the
+					// last ulp. The seed floor then retains the previous optimum
+					// (which must be what came back), and both problems must
+					// still agree bit for bit on every mapping's score — state
+					// parity is unconditional, search ties are not.
+					if opts.Seed == nil {
+						t.Fatalf("step %d: unseeded mapping diverged: %v vs %v", step, mi, mf)
+					}
+					for i := range mi {
+						if mi[i] != opts.Seed[i] {
+							t.Fatalf("step %d: diverged mapping %v is not the seed %v (rebuild %v)", step, mi, opts.Seed, mf)
+						}
+					}
+					di, df := pr.Distance(mi), pr.Distance(mf)
+					if di < df {
+						t.Fatalf("step %d: seed floor kept a worse mapping: D=%v vs rebuild D=%v", step, di, df)
+					}
+					if di-df > 1e-9 {
+						t.Fatalf("step %d: divergence is not a tie: D=%v vs rebuild D=%v", step, di, df)
+					}
+					if pr.Distance(mi) != fresh.Distance(mi) || pr.Distance(mf) != fresh.Distance(mf) {
+						t.Fatalf("step %d: problem states disagree on diverged mappings", step)
+					}
+				}
+				prev = mi
+			}
+		})
+	}
+}
+
+// A target log that starts larger than the source alphabet never needs
+// padding; appends must keep the unpadded bookkeeping in sync.
+func TestStreamProblemUnpadded(t *testing.T) {
+	l1 := event.FromStrings("A B", "B A")
+	l2 := event.FromStrings("1 2 3", "3 2 1")
+	sp, err := NewStreamProblem(l1, l2, nil, ModeVertexEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := [][]string{{"1", "2", "3"}, {"3", "2", "1"}}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 12; step++ {
+		tr := streamTrace(rng, 4)
+		appended = append(appended, tr)
+		sp.Append(tr...)
+
+		freshL2 := event.NewLog()
+		for _, names := range appended {
+			freshL2.AppendNames(names...)
+		}
+		fresh, err := BuildProblem(l1, freshL2, nil, ModeVertexEdge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := sp.Problem()
+		if pr.n2real != fresh.n2real || pr.n2pad != fresh.n2pad {
+			t.Fatalf("step %d: n2real/n2pad = %d/%d, rebuild %d/%d",
+				step, pr.n2real, pr.n2pad, fresh.n2real, fresh.n2pad)
+		}
+		mi, si, err := pr.AStarContext(context.Background(), Options{Bound: BoundSharp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, sf, err := fresh.AStarContext(context.Background(), Options{Bound: BoundSharp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if si.Score != sf.Score {
+			t.Fatalf("step %d: incremental score %v, rebuild %v", step, si.Score, sf.Score)
+		}
+		for i := range mi {
+			if mi[i] != mf[i] {
+				t.Fatalf("step %d: mapping[%d] = %v, rebuild %v", step, i, mi[i], mf[i])
+			}
+		}
+	}
+}

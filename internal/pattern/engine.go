@@ -171,8 +171,20 @@ func (e *Engine) Frequency(p *Pattern) float64 {
 // trace. The returned frequency is identical to TraceIndex.Frequency for
 // every worker count.
 func (e *Engine) FrequencyContext(ctx context.Context, p *Pattern) (float64, error) {
-	total := e.ix.log.NumTraces()
-	if total == 0 {
+	n, err := e.CountContext(ctx, p)
+	if err != nil {
+		return 0, err
+	}
+	return e.normalize(n), nil
+}
+
+// CountContext computes the raw match count of p — the number of traces the
+// pattern matches, before normalization by NumTraces. This is the
+// denominator-free form FrequencyCache memoizes so that appended traces
+// change a cached pattern's frequency without invalidating its count. The
+// scan behavior is identical to FrequencyContext.
+func (e *Engine) CountContext(ctx context.Context, p *Pattern) (int, error) {
+	if e.ix.log.NumTraces() == 0 {
 		return 0, ctx.Err()
 	}
 	sc := e.getScratch()
@@ -181,7 +193,7 @@ func (e *Engine) FrequencyContext(ctx context.Context, p *Pattern) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	return float64(n) / float64(total), nil
+	return n, nil
 }
 
 // Frequencies evaluates f(p) for a batch of patterns, parallelizing across

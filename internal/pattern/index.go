@@ -27,19 +27,12 @@ type PatternIndex struct {
 	byEvent  [][]int // byEvent[v] = indices of patterns containing event v
 }
 
-// NewPatternIndex indexes the given pattern set. The slice is retained; the
-// index refers to patterns by their position in it.
+// NewPatternIndex indexes the given pattern set. The index refers to
+// patterns by their position; further patterns can be appended with Add.
 func NewPatternIndex(patterns []*Pattern) *PatternIndex {
-	ix := &PatternIndex{patterns: patterns}
-	for i, p := range patterns {
-		for _, v := range p.Events() {
-			if int(v) >= len(ix.byEvent) {
-				grown := make([][]int, int(v)+1)
-				copy(grown, ix.byEvent)
-				ix.byEvent = grown
-			}
-			ix.byEvent[v] = append(ix.byEvent[v], i)
-		}
+	ix := &PatternIndex{}
+	for _, p := range patterns {
+		ix.Add(p)
 	}
 	return ix
 }
@@ -245,12 +238,47 @@ func (ix *TraceIndex) Frequency(p *Pattern) float64 {
 // worker count while the per-shard maps stay dense.
 const cacheShards = 32
 
+// cacheEntry is one memoized pattern evaluation. The cache stores the raw
+// match COUNT, not the normalized frequency: appending a trace to the log
+// changes the denominator (NumTraces) of every frequency at once, so a
+// frequency-valued cache would have to drop every entry per append. A
+// count-valued entry stays correct as long as no appended trace can change
+// the pattern's match count, and the hit path re-normalizes against the live
+// trace total — bit-identical to Engine.FrequencyContext, which computes
+// float64(count)/float64(total) in one division.
+type cacheEntry struct {
+	count  int
+	events []event.ID // the pattern's distinct events (shared, read-only)
+}
+
 type cacheShard struct {
-	mu    sync.Mutex
-	m     map[string]float64
-	hits  atomic.Int64
-	miss  atomic.Int64
-	evict atomic.Int64
+	mu      sync.Mutex
+	m       map[string]cacheEntry
+	byEvent map[event.ID][]string // reverse index: event → keys of entries mentioning it
+	hits    atomic.Int64
+	miss    atomic.Int64
+	evict   atomic.Int64
+	inval   atomic.Int64
+}
+
+// unlink removes key from the byEvent posting of every given event.
+// Caller holds sh.mu.
+func (sh *cacheShard) unlink(key string, events []event.ID) {
+	for _, v := range events {
+		keys := sh.byEvent[v]
+		for i, k := range keys {
+			if k == key {
+				keys[i] = keys[len(keys)-1]
+				keys = keys[:len(keys)-1]
+				break
+			}
+		}
+		if len(keys) == 0 {
+			delete(sh.byEvent, v)
+		} else {
+			sh.byEvent[v] = keys
+		}
+	}
 }
 
 // FrequencyCache memoizes pattern frequencies keyed by the pattern's order
@@ -283,7 +311,8 @@ func NewFrequencyCache(ix *TraceIndex) *FrequencyCache {
 func NewFrequencyCacheEngine(eng *Engine) *FrequencyCache {
 	c := &FrequencyCache{eng: eng}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]float64)
+		c.shards[i].m = make(map[string]cacheEntry)
+		c.shards[i].byEvent = make(map[event.ID][]string)
 	}
 	return c
 }
@@ -340,6 +369,13 @@ func (c *FrequencyCache) SetTelemetry(reg *telemetry.Registry) {
 		var n int64
 		for i := range c.shards {
 			n += c.shards[i].evict.Load()
+		}
+		return n
+	})
+	reg.RegisterFunc("cache.invalidations", func() int64 {
+		var n int64
+		for i := range c.shards {
+			n += c.shards[i].inval.Load()
 		}
 		return n
 	})
@@ -404,15 +440,17 @@ func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (floa
 	*bufp = key
 	sh := &c.shards[shardOf(key)]
 	sh.mu.Lock()
-	f, ok := sh.m[string(key)] // zero-copy lookup: no string allocation
+	e, ok := sh.m[string(key)] // zero-copy lookup: no string allocation
 	sh.mu.Unlock()
 	if ok {
 		c.sigBufs.Put(bufp)
 		sh.hits.Add(1)
-		return f, nil
+		// Normalize at read time against the live trace total, so entries
+		// survive appends that cannot change their count.
+		return c.eng.normalize(e.count), nil
 	}
 	sh.miss.Add(1)
-	f, err := c.eng.FrequencyContext(ctx, p)
+	n, err := c.eng.CountContext(ctx, p)
 	if err != nil {
 		c.sigBufs.Put(bufp)
 		return 0, err
@@ -423,16 +461,117 @@ func (c *FrequencyCache) FrequencyContext(ctx context.Context, p *Pattern) (floa
 		for int64(len(sh.m)) >= max {
 			//matchlint:ignore mapiter -- random-victim eviction: map order is the point
 			for victim := range sh.m {
+				sh.unlink(victim, sh.m[victim].events)
 				delete(sh.m, victim)
 				break
 			}
 			sh.evict.Add(1)
 		}
 	}
-	sh.m[string(key)] = f // insert allocates the key string once
+	if _, exists := sh.m[string(key)]; !exists {
+		ks := string(key) // insert allocates the key string once
+		for _, v := range p.Events() {
+			sh.byEvent[v] = append(sh.byEvent[v], ks)
+		}
+		sh.m[ks] = cacheEntry{count: n, events: p.Events()}
+	}
 	sh.mu.Unlock()
 	c.sigBufs.Put(bufp)
-	return f, nil
+	return c.eng.normalize(n), nil
+}
+
+// Invalidate drops every memoized entry whose event set is contained in the
+// given event set, and returns how many entries were dropped. This is the
+// targeted invalidation for an appended trace: a new trace can change a
+// pattern's match count only if the trace contains every event of the
+// pattern (a trace missing any pattern event can never match it), so exactly
+// the entries whose events are a subset of the trace's distinct events are
+// stale. Callers pass event.Delta.Events.
+func (c *FrequencyCache) Invalidate(events []event.ID) int {
+	if len(events) == 0 {
+		return 0
+	}
+	in := make(map[event.ID]bool, len(events))
+	for _, v := range events {
+		in[v] = true
+	}
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		var victims []string
+		for _, v := range events {
+			for _, key := range sh.byEvent[v] {
+				e, ok := sh.m[key]
+				if !ok {
+					continue
+				}
+				contained := true
+				for _, pv := range e.events {
+					if !in[pv] {
+						contained = false
+						break
+					}
+				}
+				if contained {
+					victims = append(victims, key)
+				}
+			}
+		}
+		// A contained entry is reachable from every one of its events, all of
+		// which are in the given set, so it can appear in victims once per
+		// event; the second lookup fails after the first delete.
+		for _, key := range victims {
+			if e, ok := sh.m[key]; ok {
+				sh.unlink(key, e.events)
+				delete(sh.m, key)
+				sh.inval.Add(1)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// InvalidateEvents unconditionally drops every memoized entry mentioning any
+// of the given event ids and returns how many entries were dropped. This is
+// the coarse form for id-meaning changes (an artificial padding id becoming
+// a real event when the target alphabet grows): the cached signatures keyed
+// under those ids describe a different event now, regardless of containment.
+func (c *FrequencyCache) InvalidateEvents(ids []event.ID) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	dropped := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, v := range ids {
+			// unlink mutates sh.byEvent[v]; walk a private copy.
+			keys := append([]string(nil), sh.byEvent[v]...)
+			for _, key := range keys {
+				if e, ok := sh.m[key]; ok {
+					sh.unlink(key, e.events)
+					delete(sh.m, key)
+					sh.inval.Add(1)
+					dropped++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// Invalidations reports how many memoized entries targeted invalidation has
+// dropped, summed across shards.
+func (c *FrequencyCache) Invalidations() int {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].inval.Load()
+	}
+	return int(n)
 }
 
 // Stats reports cache hits and misses, summed across shards.

@@ -17,6 +17,12 @@
 //	GET    /api/v1/jobs/{id}        job status, with in-flight progress
 //	GET    /api/v1/jobs/{id}/result final mapping, score, quality metrics
 //	POST   /api/v1/jobs/{id}/cancel cancel (DELETE /api/v1/jobs/{id} works too)
+//	POST   /api/v1/sessions         open a streaming session (log1 + patterns)
+//	POST   /api/v1/sessions/{id}/events  append target traces (chunked)
+//	GET    /api/v1/sessions/{id}    session status with the latest mapping
+//	GET    /api/v1/sessions/{id}/watch   server-push mapping updates (JSON lines)
+//	POST   /api/v1/sessions/{id}/close   drain and return the final mapping
+//	DELETE /api/v1/sessions/{id}    abort the session
 //	GET    /api/v1/metrics          telemetry snapshot as JSON
 //	GET    /healthz                 liveness ("ok", or "draining" + 503)
 //	GET    /debug/vars              expvar, including the registry snapshot
@@ -204,6 +210,95 @@ type JobResult struct {
 // ListResponse is the GET /api/v1/jobs body.
 type ListResponse struct {
 	Jobs []JobStatus `json:"jobs"`
+}
+
+// SessionState is one node of the streaming-session lifecycle: open →
+// closing → closed, with aborted reachable from open and closing.
+type SessionState string
+
+// Streaming-session lifecycle states.
+const (
+	// SessionOpen: accepting appends, publishing mapping updates.
+	SessionOpen SessionState = "open"
+	// SessionClosing: a close is draining the append backlog; no new appends.
+	SessionClosing SessionState = "closing"
+	// SessionClosed: drained cleanly; the final mapping is available.
+	SessionClosed SessionState = "closed"
+	// SessionAborted: terminated without draining; no final mapping.
+	SessionAborted SessionState = "aborted"
+)
+
+// Terminal reports whether the session state is final.
+func (s SessionState) Terminal() bool {
+	return s == SessionClosed || s == SessionAborted
+}
+
+// OpenSessionRequest is the POST /api/v1/sessions body: the fixed side of an
+// incremental matching problem. Target traces arrive later through the
+// events endpoint.
+type OpenSessionRequest struct {
+	// Log1 is the source log; its alphabet is fixed for the session.
+	Log1 LogPayload `json:"log1"`
+	// Patterns are textual complex patterns over Log1's event names.
+	Patterns []string `json:"patterns,omitempty"`
+	// Algorithm selects the per-delta re-search: "exact" (A*, the default),
+	// "heuristic-advanced", or "vertex-edge" (A* without user patterns).
+	Algorithm string `json:"algorithm,omitempty"`
+	// TimeoutMS caps each incremental re-search (not the session). Zero
+	// selects the server default; values above the maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Lenient makes Log1 ingestion skip malformed rows.
+	Lenient bool `json:"lenient,omitempty"`
+}
+
+// SessionAppendRequest is the POST /api/v1/sessions/{id}/events body: a
+// chunk of target traces, each a space-separated line of event names (the
+// trace-lines log format). New event names are interned on arrival.
+type SessionAppendRequest struct {
+	Traces []string `json:"traces"`
+}
+
+// SessionAppendResponse acknowledges an admitted chunk.
+type SessionAppendResponse struct {
+	// Accepted is the total number of target traces the session has admitted
+	// so far (not just this chunk).
+	Accepted int `json:"accepted"`
+}
+
+// SessionUpdate is one published mapping state, served from the status
+// endpoint and pushed as JSON lines from the watch endpoint.
+type SessionUpdate struct {
+	// Revision is the number of target traces the mapping reflects.
+	Revision int `json:"revision"`
+	// Pairs is the name-level mapping (Log1 event → target event).
+	Pairs map[string]string `json:"pairs"`
+	// Score is the mapping's pattern normal distance.
+	Score float64 `json:"score"`
+	// Truncated/StopReason surface the anytime verdict of the re-search that
+	// produced this update.
+	Truncated  bool   `json:"truncated,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+	// Final marks the last update of a cleanly closed session.
+	Final bool `json:"final,omitempty"`
+}
+
+// SessionStatus is the poll view of a streaming session.
+type SessionStatus struct {
+	ID        string       `json:"id"`
+	State     SessionState `json:"state"`
+	Algorithm string       `json:"algorithm"`
+	Tenant    string       `json:"tenant,omitempty"`
+	Created   string       `json:"created"`
+
+	// Accepted is the total number of admitted target traces; Update (when
+	// present) reflects the first Update.Revision of them. Accepted >
+	// Update.Revision means the session is still converging.
+	Accepted int            `json:"accepted"`
+	Update   *SessionUpdate `json:"update,omitempty"`
+
+	// Error carries the most recent re-search failure, if any (the session
+	// keeps running; the next append retries).
+	Error string `json:"error,omitempty"`
 }
 
 // Rejection reasons carried in ErrorResponse.Reason on HTTP 429, so clients

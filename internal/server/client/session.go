@@ -1,0 +1,158 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"eventmatch/internal/server"
+)
+
+// OpenSession opens a streaming session: the source log and patterns are
+// fixed now, target traces arrive later through AppendSession.
+func (c *Client) OpenSession(ctx context.Context, req server.OpenSessionRequest) (server.SessionStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.SessionStatus{}, fmt.Errorf("client: %w", err)
+	}
+	var st server.SessionStatus
+	err = c.do(ctx, http.MethodPost, "/api/v1/sessions", "application/json", body, &st)
+	return st, err
+}
+
+// AppendSession appends a chunk of target traces, each a space-separated line
+// of event names. A 429 (the session backlog is full — the client has run
+// ahead of the matcher) surfaces as a *SaturatedError, which the retry policy
+// backs off on like any other saturation reject.
+func (c *Client) AppendSession(ctx context.Context, id string, traces []string) (server.SessionAppendResponse, error) {
+	body, err := json.Marshal(server.SessionAppendRequest{Traces: traces})
+	if err != nil {
+		return server.SessionAppendResponse{}, fmt.Errorf("client: %w", err)
+	}
+	var resp server.SessionAppendResponse
+	err = c.do(ctx, http.MethodPost, "/api/v1/sessions/"+id+"/events", "application/json", body, &resp)
+	return resp, err
+}
+
+// Session polls one session's status (latest published mapping included).
+func (c *Client) Session(ctx context.Context, id string) (server.SessionStatus, error) {
+	var st server.SessionStatus
+	err := c.do(ctx, http.MethodGet, "/api/v1/sessions/"+id, "", nil, &st)
+	return st, err
+}
+
+// WaitSessionCaughtUp polls a session until its published mapping reflects
+// every admitted trace (Update.Revision == Accepted), the session turns
+// terminal, or ctx expires.
+func (c *Client) WaitSessionCaughtUp(ctx context.Context, id string, every time.Duration) (server.SessionStatus, error) {
+	if every <= 0 {
+		every = 20 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		st, err := c.Session(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() || (st.Update != nil && st.Update.Revision == st.Accepted) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// WaitSessionTerminal polls a session until it is closed or aborted.
+func (c *Client) WaitSessionTerminal(ctx context.Context, id string, every time.Duration) (server.SessionStatus, error) {
+	if every <= 0 {
+		every = 20 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		st, err := c.Session(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// WatchSession consumes the server-push update stream, invoking fn for every
+// JSON-lines update until fn returns false, the stream ends (the session went
+// terminal), or ctx expires. The latest update is replayed first, so a fresh
+// watcher starts from the current mapping. Watching is read-only streaming:
+// it is never retried.
+func (c *Client) WatchSession(ctx context.Context, id string, fn func(server.SessionUpdate) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/sessions/"+id+"/watch", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if c.tenant != "" {
+		req.Header.Set("X-Tenant", c.tenant)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e server.ErrorResponse
+		if json.Unmarshal(body, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(body))
+		}
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var up server.SessionUpdate
+		if err := json.Unmarshal([]byte(line), &up); err != nil {
+			return fmt.Errorf("client: decoding update: %w", err)
+		}
+		if !fn(up) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("client: watch stream: %w", err)
+	}
+	return ctx.Err()
+}
+
+// CloseSession drains a session cleanly and returns its status — terminal
+// (with the final mapping) when the drain finished within the request, still
+// "closing" otherwise; follow up with WaitSessionTerminal in that case.
+func (c *Client) CloseSession(ctx context.Context, id string) (server.SessionStatus, error) {
+	var st server.SessionStatus
+	err := c.do(ctx, http.MethodPost, "/api/v1/sessions/"+id+"/close", "", nil, &st)
+	return st, err
+}
+
+// AbortSession terminates a session immediately, discarding queued appends.
+func (c *Client) AbortSession(ctx context.Context, id string) (server.SessionStatus, error) {
+	var st server.SessionStatus
+	err := c.do(ctx, http.MethodDelete, "/api/v1/sessions/"+id, "", nil, &st)
+	return st, err
+}

@@ -22,6 +22,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/events", s.handleSessionAppend)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionStatus)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/watch", s.handleSessionWatch)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/close", s.handleSessionClose)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionAbort)
 	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -157,6 +163,213 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		s.tenantStats(j.spec.tenant).canceled.Inc()
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// queueFullRetrySec renders the server's Retry-After estimate as whole
+// seconds (floored at 1) for queue-full rejections.
+func (s *Server) queueFullRetrySec() int {
+	sec := int(s.retryAfter().Seconds() + 0.5)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// handleSessionOpen admits a streaming session through the same gauntlet as a
+// job submission: drain check, tenant resolution, rate budget, body cap, full
+// validation — plus the live-session cap (sessions hold a writer goroutine
+// for their whole lifetime, so they are bounded separately from jobs).
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ten, err := requestTenant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	now := time.Now()
+	if ok, retryAt := s.limiter.Allow(ten, now); !ok {
+		s.rateLimited.Inc()
+		s.tenantStats(ten).rejectedRate.Inc()
+		write429(w, ErrorResponse{Error: "rate limited", Reason: ReasonRateLimited},
+			tenant.RetryAfter(now, retryAt))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var req OpenSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "parsing request: "+err.Error())
+		return
+	}
+	if s.sessions.live() >= s.cfg.MaxSessions {
+		s.sessRejected.Inc()
+		write429(w, ErrorResponse{Error: "session limit reached", Reason: ReasonQueueFull},
+			s.queueFullRetrySec())
+		return
+	}
+	ss, err := s.openSession(r.Context(), req, ten)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ss.status())
+}
+
+// handleSessionAppend admits one chunk of target traces. The backlog bound is
+// per session: a client more than SessionBacklog traces ahead of the last
+// published mapping gets 429 until the matcher catches up.
+func (s *Server) handleSessionAppend(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	ten, err := requestTenant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if ten != ss.spec.tenant {
+		writeError(w, http.StatusForbidden, "session belongs to another tenant")
+		return
+	}
+	now := time.Now()
+	if ok, retryAt := s.limiter.Allow(ten, now); !ok {
+		s.rateLimited.Inc()
+		s.tenantStats(ten).rejectedRate.Inc()
+		write429(w, ErrorResponse{Error: "rate limited", Reason: ReasonRateLimited},
+			tenant.RetryAfter(now, retryAt))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var req SessionAppendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "parsing request: "+err.Error())
+		return
+	}
+	traces, err := parseSessionTraces(req.Traces)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	accepted, err := s.appendSession(ss, traces)
+	switch {
+	case errors.Is(err, errSessionClosing):
+		writeError(w, http.StatusConflict, "session is closing; no further appends")
+		return
+	case errors.Is(err, errSessionTerminal):
+		writeError(w, http.StatusGone, "session is terminal")
+		return
+	case errors.Is(err, errSaturated):
+		s.sessRejected.Inc()
+		msg := "session backlog full"
+		if errors.Is(err, errTenantSaturated) {
+			msg = "tenant append queue full"
+		}
+		write429(w, ErrorResponse{Error: msg, Reason: ReasonQueueFull}, s.queueFullRetrySec())
+		return
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SessionAppendResponse{Accepted: accepted})
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.status())
+}
+
+// handleSessionWatch streams mapping updates as JSON lines until the session
+// ends or the client disconnects. The latest update is replayed first, so a
+// new watcher starts from the current state.
+func (s *Server) handleSessionWatch(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	id, ch, live := ss.addWatcher()
+	if live {
+		defer ss.removeWatcher(id)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case up, open := <-ch:
+			if !open {
+				return
+			}
+			if err := enc.Encode(up); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSessionClose starts the clean drain and waits (bounded by the request
+// context) for the terminal state: 200 with the final status when the drain
+// finished in time, 202 when it is still converging — poll the status
+// endpoint for the final mapping.
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.closeSession(ss)
+	st := s.waitSessionTerminal(r.Context(), ss)
+	code := http.StatusOK
+	if !st.State.Terminal() {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+// handleSessionAbort terminates a session immediately; idempotent like job
+// cancellation — aborting a terminal session just reports its status.
+func (s *Server) handleSessionAbort(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.abortSession(ss, true)
+	writeJSON(w, http.StatusOK, ss.status())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

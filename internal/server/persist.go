@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"eventmatch/internal/event"
@@ -96,6 +98,57 @@ func (s *Server) persistResult(j *job, res *JobResult) {
 	}
 }
 
+// persistSessionOpen journals a freshly opened session's fixed side. The
+// source-log artifact was already stored by ingest.
+func (s *Server) persistSessionOpen(ctx context.Context, ss *streamSession) {
+	if s.store == nil {
+		return
+	}
+	rec := &store.SessionRecord{
+		Algorithm:       ss.spec.algoName,
+		Tenant:          ss.spec.tenant,
+		Log1:            store.LogRef{Key: ss.spec.h1, Format: ss.spec.fmt1},
+		Patterns:        ss.spec.patterns,
+		TimeoutMS:       ss.spec.timeout.Milliseconds(),
+		Lenient:         ss.spec.lenient,
+		CreatedUnixNano: ss.created.UnixNano(),
+	}
+	if err := s.store.AppendSessionOpen(ctx, ss.id, rec, time.Now().UnixNano()); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
+// persistSessionDelta journals one admitted chunk. Called under the session
+// mutex, between the fair-queue push and the acknowledgment — the journal's
+// delta order is the admission order, which is the apply order.
+func (s *Server) persistSessionDelta(ss *streamSession, traces [][]string) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.AppendSessionDelta(s.persistCtx, ss.id, sessionTraceLines(traces), time.Now().UnixNano()); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
+// persistSessionClose journals a session's terminal state; clean closes carry
+// the final published mapping so restarts serve it without recomputation.
+func (s *Server) persistSessionClose(ss *streamSession, state string) {
+	if s.store == nil {
+		return
+	}
+	var final *store.SessionFinalRecord
+	if state == string(SessionClosed) && ss.last != nil {
+		final = &store.SessionFinalRecord{
+			Revision: ss.last.Revision,
+			Pairs:    ss.last.Pairs,
+			Score:    ss.last.Score,
+		}
+	}
+	if err := s.store.AppendSessionClose(s.persistCtx, ss.id, state, final, time.Now().UnixNano()); err != nil {
+		s.persistErrs.Inc()
+	}
+}
+
 // ckptMsg is one checkpoint on its way to the journal.
 type ckptMsg struct {
 	jobID string
@@ -154,6 +207,12 @@ type RecoverySummary struct {
 	// Failed is how many jobs could not be reconstructed (lost artifacts,
 	// spec no longer valid) and were marked failed.
 	Failed int
+	// Sessions is the total number of journaled streaming sessions restored.
+	Sessions int
+	// SessionsResumed is how many of them came back live: their journaled
+	// deltas were replayed into a fresh matching core, which converges to the
+	// same mapping the pre-crash session would have published.
+	SessionsResumed int
 }
 
 // Recover rebuilds the job store from a journal replay. Completed jobs are
@@ -178,10 +237,119 @@ func (s *Server) Recover(rec *store.Recovery) RecoverySummary {
 		}
 	}
 	sum.Jobs = len(rec.Jobs)
+	s.sessions.bumpSeq(rec.MaxSessionSeq)
+	for _, rs := range rec.Sessions {
+		s.recoverSession(rs, &sum)
+	}
+	sum.Sessions = len(rec.Sessions)
 	if len(requeue) > 0 {
 		go s.feedRecovered(requeue)
 	}
 	return sum
+}
+
+// recoverSession restores one replayed session. Terminal sessions come back
+// as status-only records (the clean-close final mapping is served from the
+// journal); open sessions are rebuilt live — the source log from the artifact
+// store, every journaled delta replayed into a fresh core in admission order,
+// which coalesces them into one re-search and converges to the same mapping
+// as the pre-crash session.
+func (s *Server) recoverSession(rs *store.RecoveredSession, sum *RecoverySummary) {
+	created := time.Now()
+	if rs.Spec.CreatedUnixNano > 0 {
+		created = time.Unix(0, rs.Spec.CreatedUnixNano)
+	}
+	total := 0
+	for _, d := range rs.Deltas {
+		total += len(d)
+	}
+
+	if rs.Terminal() {
+		ss := &streamSession{
+			spec: sessionSpec{
+				algoName: rs.Spec.Algorithm,
+				tenant:   tenant.Normalize(rs.Spec.Tenant),
+			},
+			created:  created,
+			state:    SessionState(rs.State),
+			accepted: total,
+			watchers: make(map[int]chan SessionUpdate),
+		}
+		ss.cond = sync.NewCond(&ss.mu)
+		if rs.Final != nil {
+			ss.last = &SessionUpdate{
+				Revision: rs.Final.Revision,
+				Pairs:    rs.Final.Pairs,
+				Score:    rs.Final.Score,
+				Final:    true,
+			}
+		}
+		s.sessions.addRecovered(ss, rs.ID)
+		return
+	}
+
+	failTerminal := func(msg string) {
+		ss := &streamSession{
+			spec:     sessionSpec{algoName: rs.Spec.Algorithm, tenant: tenant.Normalize(rs.Spec.Tenant)},
+			created:  created,
+			state:    SessionAborted,
+			accepted: total,
+			errMsg:   msg,
+			watchers: make(map[int]chan SessionUpdate),
+		}
+		ss.cond = sync.NewCond(&ss.mu)
+		s.sessions.addRecovered(ss, rs.ID)
+		// The verdict must survive the next restart too.
+		if err := s.store.AppendSessionClose(s.persistCtx, rs.ID, string(SessionAborted), nil, time.Now().UnixNano()); err != nil {
+			s.persistErrs.Inc()
+		}
+	}
+
+	raw, err := s.store.Artifact(s.persistCtx, rs.Spec.Log1.Key)
+	if err != nil {
+		failTerminal(fmt.Sprintf("recovery: log1 artifact %s lost: %v", rs.Spec.Log1.Key, err))
+		return
+	}
+	spec, err := s.buildSessionSpec(OpenSessionRequest{
+		Log1:      LogPayload{Format: rs.Spec.Log1.Format, Data: string(raw)},
+		Patterns:  rs.Spec.Patterns,
+		Algorithm: rs.Spec.Algorithm,
+		TimeoutMS: rs.Spec.TimeoutMS,
+		Lenient:   rs.Spec.Lenient,
+	})
+	if err != nil {
+		failTerminal(fmt.Sprintf("recovery: %v", err))
+		return
+	}
+	spec.tenant = tenant.Normalize(rs.Spec.Tenant)
+
+	// Size the core inbox for the whole replay so a single Append call feeds
+	// every delta; the writer coalesces them into one converging re-search.
+	maxPending := s.cfg.SessionBacklog
+	if total > maxPending {
+		maxPending = total
+	}
+	ss, err := s.startSession(spec, event.NewLog(), total, maxPending)
+	if err != nil {
+		failTerminal(fmt.Sprintf("recovery: %v", err))
+		return
+	}
+	ss.created = created
+	var replayed [][]string
+	for _, chunk := range rs.Deltas {
+		for _, line := range chunk {
+			replayed = append(replayed, strings.Fields(line))
+		}
+	}
+	if len(replayed) > 0 {
+		if _, err := ss.core.Append(replayed...); err != nil {
+			ss.core.Abort()
+			failTerminal(fmt.Sprintf("recovery: replaying deltas: %v", err))
+			return
+		}
+	}
+	s.sessions.addRecovered(ss, rs.ID)
+	sum.SessionsResumed++
 }
 
 // recoverJob turns one replayed job into a live *job, reporting whether it

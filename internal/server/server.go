@@ -70,6 +70,19 @@ type Config struct {
 	// selects the search default (match.DefaultProgressEvery).
 	ProgressEvery time.Duration
 
+	// MaxSessions caps concurrently live streaming sessions (each owns a
+	// writer goroutine running incremental re-searches). Default 8.
+	MaxSessions int
+
+	// SessionBacklog bounds how far one session's admitted traces may run
+	// ahead of its last published mapping; appends beyond it are rejected
+	// with 429 until the matcher catches up. Default 256.
+	SessionBacklog int
+
+	// SessionWorkers is the dispatcher pool draining the fair append queue
+	// into session cores. Default 2.
+	SessionWorkers int
+
 	// Store, when non-nil, makes the job lifecycle durable: submissions,
 	// state transitions, periodic search checkpoints and results are
 	// journaled (write-ahead, fsync'd) and uploaded logs are kept as
@@ -119,6 +132,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxCachedProblems <= 0 {
 		c.MaxCachedProblems = 64
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.SessionBacklog <= 0 {
+		c.SessionBacklog = 256
+	}
+	if c.SessionWorkers <= 0 {
+		c.SessionWorkers = 2
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry()
 	}
@@ -135,6 +157,11 @@ type Server struct {
 	pool *pool
 	logs *logCache
 	prs  *problemCache
+
+	// sessions holds the streaming sessions; sessSched is the weighted-fair
+	// admission path their appends flow through.
+	sessions  *sessionStore
+	sessSched *sessionSched
 
 	// limiter is the per-tenant multi-window rate limiter; nil when no
 	// TenantRates were configured (every submission admitted).
@@ -171,6 +198,8 @@ type Server struct {
 	submitted, completed, failed, canceled, rejected, rateLimited *telemetry.Counter
 	waitTimer, runTimer                                           *telemetry.Timer
 
+	sessOpened, sessClosed, sessAborted, sessAppends, sessUpdates, sessRejected *telemetry.Counter
+
 	// testHookBeforeRun, when non-nil, runs on the worker goroutine after a
 	// job transitions to running and before the engine executes it. Tests
 	// use it to hold a worker deterministically (e.g. to fill the queue for
@@ -190,6 +219,15 @@ func New(cfg Config) *Server {
 
 		limiter: tenant.NewLimiter(cfg.TenantRates),
 		tenants: make(map[string]*tenantStats),
+
+		sessions: newSessionStore(cfg.MaxStoredJobs),
+
+		sessOpened:   cfg.Telemetry.Counter("server.sessions_opened"),
+		sessClosed:   cfg.Telemetry.Counter("server.sessions_closed"),
+		sessAborted:  cfg.Telemetry.Counter("server.sessions_aborted"),
+		sessAppends:  cfg.Telemetry.Counter("server.session_traces_appended"),
+		sessUpdates:  cfg.Telemetry.Counter("server.session_updates"),
+		sessRejected: cfg.Telemetry.Counter("server.session_rejected"),
 
 		submitted:   cfg.Telemetry.Counter("server.jobs_submitted"),
 		completed:   cfg.Telemetry.Counter("server.jobs_completed"),
@@ -211,6 +249,13 @@ func New(cfg Config) *Server {
 		go s.checkpointWriter()
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.TenantQueueDepth, cfg.TenantWeights, s.runJob)
+	// The sched queue holds chunks; the binding backlog limit is per-session
+	// (SessionBacklog traces between client and matcher), so its capacity is
+	// a generous ceiling and fairness comes from the stride order.
+	schedDepth := cfg.MaxSessions * cfg.SessionBacklog
+	s.sessSched = newSessionSched(cfg.SessionWorkers, schedDepth, schedDepth, cfg.TenantWeights, s.applySessionAppend)
+	s.reg.RegisterFunc("server.sessions_live", func() int64 { return int64(s.sessions.live()) })
+	s.reg.RegisterFunc("server.sessions_stored", func() int64 { return int64(s.sessions.len()) })
 	s.reg.RegisterFunc("server.queue_depth", func() int64 { return int64(s.pool.queued()) })
 	s.reg.RegisterFunc("server.queue_capacity", func() int64 { return int64(cfg.QueueDepth) })
 	s.reg.RegisterFunc("server.tenant_queue_capacity", func() int64 { return int64(cfg.TenantQueueDepth) })
@@ -330,6 +375,10 @@ func (s *Server) noteJobDuration(d time.Duration) {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.shutdownOnce.Do(func() {
+		// Tear the streaming layer down first: append admission stops, live
+		// cores abort without a terminal journal record (so open sessions
+		// recover on the next boot), mid-close sessions finish their drain.
+		s.shutdownSessions()
 		done := make(chan struct{})
 		go func() {
 			s.pool.drain()

@@ -1,0 +1,650 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"eventmatch/internal/event"
+	"eventmatch/internal/match"
+	"eventmatch/internal/server/tenant"
+	"eventmatch/internal/stream"
+
+	"eventmatch"
+)
+
+// This file is the serving layer over internal/stream: long-lived streaming
+// sessions. A session fixes the source log and pattern set at open time;
+// target traces arrive in chunks through the events endpoint, are admitted
+// through the same tenancy surface as jobs (rate limiter + weighted-fair
+// queue), journaled as deltas (replayable after a crash), and folded into the
+// session's single-writer matching core, which re-searches seeded from the
+// previous published mapping and pushes every new mapping to watchers.
+//
+// Lock order: sessionStore.mu → streamSession.mu. The stream.Session core is
+// never called under streamSession.mu when the call can wait on the writer
+// (Close, Abort) — the writer's OnUpdate callback takes streamSession.mu.
+
+// sessionSpec is the validated fixed side of a session.
+type sessionSpec struct {
+	algorithm eventmatch.Algorithm
+	algoName  string
+	tenant    string
+
+	l1   *event.Log
+	h1   string // content key of the source log artifact
+	fmt1 string
+
+	patterns []string
+	lenient  bool
+	timeout  time.Duration
+}
+
+// streamSession is one live (or terminal) streaming session.
+type streamSession struct {
+	id      string
+	spec    sessionSpec
+	created time.Time
+
+	// core is the single-writer matching session; nil for sessions restored
+	// in a terminal state (status is served from the journaled final record).
+	core *stream.Session
+
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast on schedQueued changes and state transitions
+	state SessionState
+	// accepted counts admitted target traces; schedQueued the subset still in
+	// the fair queue (admitted, not yet handed to the core). The admission
+	// backlog check compares accepted against the last published revision, so
+	// a client cannot run more than SessionBacklog traces ahead of the
+	// matcher.
+	accepted    int
+	schedQueued int
+	last        *SessionUpdate
+	errMsg      string
+
+	watchers  map[int]chan SessionUpdate
+	nextWatch int
+}
+
+func (ss *streamSession) statusLocked() SessionStatus {
+	st := SessionStatus{
+		ID:        ss.id,
+		State:     ss.state,
+		Algorithm: ss.spec.algoName,
+		Tenant:    ss.spec.tenant,
+		Created:   stamp(ss.created),
+		Accepted:  ss.accepted,
+		Error:     ss.errMsg,
+	}
+	if ss.last != nil {
+		up := *ss.last
+		st.Update = &up
+	}
+	return st
+}
+
+func (ss *streamSession) status() SessionStatus {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.statusLocked()
+}
+
+// publish records an update as the session's latest state and fans it out to
+// watchers (non-blocking: a slow watcher drops intermediate updates, never
+// the stream — the next update carries the newer mapping anyway).
+func (ss *streamSession) publish(up SessionUpdate) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	cp := up
+	ss.last = &cp
+	ss.errMsg = ""
+	for _, ch := range ss.watchers {
+		select {
+		case ch <- up:
+		default:
+		}
+	}
+	ss.cond.Broadcast()
+}
+
+// addWatcher registers a watch channel and replays the latest update into it.
+// The returned id unregisters via removeWatcher. ok is false when the session
+// is terminal — the caller got the final state (if any) and must not wait.
+func (ss *streamSession) addWatcher() (int, chan SessionUpdate, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ch := make(chan SessionUpdate, 32)
+	if ss.last != nil {
+		//matchlint:ignore lockheld -- ch is freshly made and buffered; a single-element send cannot block
+		ch <- *ss.last
+	}
+	if ss.state.Terminal() {
+		close(ch)
+		return 0, ch, false
+	}
+	id := ss.nextWatch
+	ss.nextWatch++
+	ss.watchers[id] = ch
+	return id, ch, true
+}
+
+func (ss *streamSession) removeWatcher(id int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	delete(ss.watchers, id)
+}
+
+// closeWatchersLocked ends every watch stream (terminal transition).
+func (ss *streamSession) closeWatchersLocked() {
+	for id, ch := range ss.watchers {
+		close(ch)
+		delete(ss.watchers, id)
+	}
+}
+
+// sessionStore holds sessions in open order, evicting the oldest terminal
+// ones past the cap. Live sessions are never evicted.
+type sessionStore struct {
+	mu    sync.Mutex
+	max   int
+	next  int
+	byID  map[string]*streamSession
+	order []*streamSession
+}
+
+func newSessionStore(max int) *sessionStore {
+	return &sessionStore{max: max, byID: make(map[string]*streamSession)}
+}
+
+func (s *sessionStore) add(ss *streamSession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	ss.id = fmt.Sprintf("s%d", s.next)
+	s.addLocked(ss)
+}
+
+// addRecovered registers a replayed session under its journaled id.
+func (s *sessionStore) addRecovered(ss *streamSession, id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss.id = id
+	s.addLocked(ss)
+}
+
+func (s *sessionStore) addLocked(ss *streamSession) {
+	s.byID[ss.id] = ss
+	s.order = append(s.order, ss)
+	if over := len(s.order) - s.max; over > 0 {
+		kept := s.order[:0]
+		for _, old := range s.order {
+			if over > 0 && old != ss {
+				//matchlint:ignore lockheld -- sessionStore.mu → streamSession.mu is the module's lock order
+				old.mu.Lock()
+				terminal := old.state.Terminal()
+				old.mu.Unlock()
+				if terminal {
+					delete(s.byID, old.id)
+					over--
+					continue
+				}
+			}
+			kept = append(kept, old)
+		}
+		s.order = kept
+	}
+}
+
+func (s *sessionStore) bumpSeq(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.next {
+		s.next = n
+	}
+}
+
+func (s *sessionStore) get(id string) (*streamSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss, ok := s.byID[id]
+	return ss, ok
+}
+
+// live counts non-terminal sessions (the MaxSessions admission check and the
+// telemetry gauge).
+func (s *sessionStore) live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ss := range s.order {
+		//matchlint:ignore lockheld -- sessionStore.mu → streamSession.mu is the module's lock order
+		ss.mu.Lock()
+		if !ss.state.Terminal() {
+			n++
+		}
+		ss.mu.Unlock()
+	}
+	return n
+}
+
+// all returns every stored session (for shutdown teardown).
+func (s *sessionStore) all() []*streamSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*streamSession(nil), s.order...)
+}
+
+func (s *sessionStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// sessAppend is one admitted chunk on its way from the HTTP handler to its
+// session's core.
+type sessAppend struct {
+	sess   *streamSession
+	traces [][]string
+}
+
+// sessionSched is the fair admission path for appends: a weighted-fair queue
+// across tenants drained by a small dispatcher pool. The queue holds chunks,
+// not traces; the real backlog bound is per-session (SessionBacklog traces
+// between the client and the last published mapping), so the queue capacity
+// here is a generous upper bound and fairness comes from the stride
+// scheduling order — a flooding tenant's appends are interleaved with, not
+// ahead of, everyone else's.
+type sessionSched struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	fq       *tenant.FairQueue[sessAppend]
+	draining bool
+	wg       sync.WaitGroup
+}
+
+func newSessionSched(workers, depth, perTenant int, weights map[string]int, apply func(sessAppend)) *sessionSched {
+	d := &sessionSched{fq: tenant.NewFairQueue[sessAppend](depth, perTenant, weights)}
+	d.cond = sync.NewCond(&d.mu)
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				d.mu.Lock()
+				for d.fq.Len() == 0 && !d.draining {
+					d.cond.Wait()
+				}
+				a, _, ok := d.fq.Pop()
+				d.mu.Unlock()
+				if !ok {
+					return
+				}
+				apply(a)
+			}
+		}()
+	}
+	return d
+}
+
+// push enqueues one chunk or fails fast (the handler turns the error into a
+// 429). Never blocks.
+func (d *sessionSched) push(ten string, a sessAppend) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return errDraining
+	}
+	if err := d.fq.Push(ten, a); err != nil {
+		if errors.Is(err, tenant.ErrTenantFull) {
+			return errTenantSaturated
+		}
+		return errSaturated
+	}
+	d.cond.Signal()
+	return nil
+}
+
+// drain stops admission and waits for the dispatchers to empty the queue.
+func (d *sessionSched) drain() {
+	d.mu.Lock()
+	if !d.draining {
+		d.draining = true
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// openSession validates an open request into a live session. reqCtx bounds
+// the submission-side persists only.
+func (s *Server) openSession(reqCtx context.Context, req OpenSessionRequest, ten string) (*streamSession, error) {
+	spec, err := s.buildSessionSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	spec.tenant = tenant.Normalize(ten)
+	ss, err := s.startSession(spec, event.NewLog(), 0, s.cfg.SessionBacklog)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions.add(ss)
+	s.persistSessionOpen(reqCtx, ss)
+	s.sessOpened.Inc()
+	s.tenantStats(spec.tenant).submitted.Inc()
+	return ss, nil
+}
+
+// buildSessionSpec validates the fixed side of a session: parse the source
+// log, resolve the algorithm (only the incremental-capable ones), bind the
+// patterns so pattern errors surface at open time.
+func (s *Server) buildSessionSpec(req OpenSessionRequest) (sessionSpec, error) {
+	var spec sessionSpec
+	algoName := req.Algorithm
+	if algoName == "" {
+		algoName = eventmatch.AlgoExact.String()
+	}
+	algo, err := eventmatch.ParseAlgorithm(algoName)
+	if err != nil {
+		return spec, err
+	}
+	switch algo {
+	case eventmatch.AlgoExact, eventmatch.AlgoHeuristicAdvanced, eventmatch.AlgoVertexEdge:
+	default:
+		return spec, fmt.Errorf("algorithm %q does not support streaming sessions (want exact, heuristic-advanced or vertex-edge)", algoName)
+	}
+	spec.algorithm, spec.algoName = algo, algoName
+
+	if spec.l1, _, spec.h1, spec.fmt1, err = s.ingest("log1", req.Log1, req.Lenient); err != nil {
+		return spec, err
+	}
+	spec.lenient = req.Lenient
+	spec.patterns = req.Patterns
+	if algo != eventmatch.AlgoVertexEdge {
+		if _, err := eventmatch.BindPatterns(req.Patterns, spec.l1.Alphabet); err != nil {
+			return spec, err
+		}
+	}
+	spec.timeout = s.cfg.DefaultDeadline
+	if req.TimeoutMS > 0 {
+		spec.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if spec.timeout > s.cfg.MaxDeadline {
+			spec.timeout = s.cfg.MaxDeadline
+		}
+	}
+	return spec, nil
+}
+
+// startSession builds the matching core around a validated spec. l2 is the
+// initial target log (empty for fresh sessions, the replayed prefix for
+// recovered ones); accepted counts its traces; maxPending sizes the core's
+// inbox.
+func (s *Server) startSession(spec sessionSpec, l2 *event.Log, accepted, maxPending int) (*streamSession, error) {
+	ss := &streamSession{
+		spec:     spec,
+		created:  time.Now(),
+		state:    SessionOpen,
+		accepted: accepted,
+		watchers: make(map[int]chan SessionUpdate),
+	}
+	ss.cond = sync.NewCond(&ss.mu)
+
+	var bound []*eventmatch.Pattern
+	mode := match.ModePattern
+	if spec.algorithm == eventmatch.AlgoVertexEdge {
+		mode = match.ModeVertexEdge
+	} else {
+		var err error
+		if bound, err = eventmatch.BindPatterns(spec.patterns, spec.l1.Alphabet); err != nil {
+			return nil, err
+		}
+	}
+	opts := match.Options{
+		Bound:       match.BoundSharp,
+		MaxDuration: spec.timeout,
+		Workers:     s.cfg.SearchWorkers,
+		Telemetry:   s.reg,
+	}
+	search := func(ctx context.Context, pr *match.Problem, o match.Options) (match.Mapping, match.Stats, error) {
+		return pr.AStarContext(ctx, o)
+	}
+	if spec.algorithm == eventmatch.AlgoHeuristicAdvanced {
+		opts.Bound = match.BoundSimple
+		search = func(ctx context.Context, pr *match.Problem, o match.Options) (match.Mapping, match.Stats, error) {
+			return pr.HeuristicAdvancedContext(ctx, o)
+		}
+	}
+
+	core, err := stream.NewSession(stream.SessionConfig{
+		L1:         spec.l1,
+		L2:         l2,
+		Patterns:   bound,
+		Mode:       mode,
+		Options:    opts,
+		Search:     search,
+		MaxPending: maxPending,
+		// OnUpdate runs on the core's writer goroutine, the only place the
+		// live target alphabet may be read — names are rendered here, not at
+		// serving time.
+		OnUpdate: func(up stream.Update) {
+			_, l2live := ss.core.Logs()
+			ss.publish(SessionUpdate{
+				Revision:   up.Revision,
+				Pairs:      namePairs(spec.l1, l2live, up.Mapping),
+				Score:      up.Score,
+				Truncated:  up.Stats.Truncated,
+				StopReason: up.Stats.StopReason,
+				Final:      up.Final,
+			})
+			s.sessUpdates.Inc()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss.mu.Lock()
+	ss.core = core
+	ss.mu.Unlock()
+	return ss, nil
+}
+
+// appendSession admits one chunk into a session: backlog check, fair-queue
+// push, then the delta journal record — all under the session mutex, so the
+// journal's delta order is exactly the admission (and therefore apply) order,
+// and a rejected push is never journaled.
+func (s *Server) appendSession(ss *streamSession, traces [][]string) (int, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch {
+	case ss.state == SessionClosing:
+		return 0, errSessionClosing
+	case ss.state.Terminal():
+		return 0, errSessionTerminal
+	}
+	lastRev := 0
+	if ss.last != nil {
+		lastRev = ss.last.Revision
+	}
+	if ss.accepted-lastRev+len(traces) > s.cfg.SessionBacklog {
+		return 0, errSaturated
+	}
+	if err := s.sessSched.push(ss.spec.tenant, sessAppend{sess: ss, traces: traces}); err != nil {
+		return 0, err
+	}
+	s.persistSessionDelta(ss, traces)
+	ss.accepted += len(traces)
+	ss.schedQueued += len(traces)
+	s.sessAppends.Add(int64(len(traces)))
+	return ss.accepted, nil
+}
+
+// applySessionAppend is the dispatcher side: hand the chunk to the session's
+// core. The per-session backlog invariant guarantees the core inbox has room,
+// so an error here means the session went terminal between admission and
+// dispatch — the chunk is dropped, which is exactly abort semantics.
+func (s *Server) applySessionAppend(a sessAppend) {
+	_, err := a.sess.core.Append(a.traces...)
+	a.sess.mu.Lock()
+	a.sess.schedQueued -= len(a.traces)
+	if err != nil && !errors.Is(err, stream.ErrSessionClosed) {
+		a.sess.errMsg = err.Error()
+	}
+	a.sess.cond.Broadcast()
+	a.sess.mu.Unlock()
+}
+
+// closeSession begins a clean drain: no new appends, and a finalizer
+// goroutine waits for the queued chunks to reach the core, drains the core,
+// journals the terminal record and wakes everyone polling for the terminal
+// state. Idempotent — later calls just observe the transition.
+func (s *Server) closeSession(ss *streamSession) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state != SessionOpen {
+		return
+	}
+	ss.state = SessionClosing
+	go s.finalizeSession(ss)
+}
+
+func (s *Server) finalizeSession(ss *streamSession) {
+	ss.mu.Lock()
+	for ss.schedQueued > 0 && ss.state == SessionClosing {
+		ss.cond.Wait()
+	}
+	ss.mu.Unlock()
+	// The core drain is bounded by the per-search deadline (every re-search
+	// has a MaxDuration), so an unbounded context here cannot hang shutdown.
+	fin, err := ss.core.Close(context.Background())
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.state != SessionClosing { // aborted while draining
+		return
+	}
+	if err == nil {
+		// OnUpdate already published the final marker; ss.last reflects fin.
+		_ = fin
+		s.persistSessionClose(ss, string(SessionClosed))
+		ss.state = SessionClosed
+		s.sessClosed.Inc()
+		s.tenantStats(ss.spec.tenant).completed.Inc()
+	} else {
+		ss.errMsg = err.Error()
+		s.persistSessionClose(ss, string(SessionAborted))
+		ss.state = SessionAborted
+		s.sessAborted.Inc()
+	}
+	ss.closeWatchersLocked()
+	ss.cond.Broadcast()
+}
+
+// waitSessionTerminal blocks until the session reaches a terminal state or
+// ctx expires, returning the status either way.
+func (s *Server) waitSessionTerminal(ctx context.Context, ss *streamSession) SessionStatus {
+	done := make(chan struct{})
+	stop := false // guarded by ss.mu; lets a canceled wait exit before terminal
+	go func() {
+		defer close(done)
+		ss.mu.Lock()
+		defer ss.mu.Unlock()
+		for !ss.state.Terminal() && !stop {
+			ss.cond.Wait()
+		}
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Release the waiter goroutine; the drain itself continues in the
+		// finalizer regardless.
+		ss.mu.Lock()
+		stop = true
+		ss.cond.Broadcast()
+		ss.mu.Unlock()
+		<-done
+	}
+	return ss.status()
+}
+
+// abortSession terminates a session immediately: pending chunks are dropped,
+// the in-flight search is canceled and discarded. journal=false is the
+// shutdown path — the session must recover as open on the next boot, so no
+// terminal record is written.
+func (s *Server) abortSession(ss *streamSession, journal bool) bool {
+	ss.mu.Lock()
+	if ss.state != SessionOpen || ss.core == nil {
+		ss.mu.Unlock()
+		return false
+	}
+	ss.state = SessionAborted
+	core := ss.core
+	ss.mu.Unlock()
+	core.Abort() // outside ss.mu: Abort waits on the writer, which publishes under ss.mu
+	ss.mu.Lock()
+	if journal {
+		s.persistSessionClose(ss, string(SessionAborted))
+	}
+	ss.closeWatchersLocked()
+	ss.cond.Broadcast()
+	ss.mu.Unlock()
+	if journal {
+		s.sessAborted.Inc()
+		s.tenantStats(ss.spec.tenant).canceled.Inc()
+	}
+	return true
+}
+
+// shutdownSessions tears the streaming layer down for a drain: stop append
+// admission, let the dispatchers empty the queue, then abort every live core
+// WITHOUT journaling a terminal state — open sessions must come back on the
+// next boot, rebuilt from their journaled deltas.
+func (s *Server) shutdownSessions() {
+	if s.sessSched == nil {
+		return
+	}
+	s.sessSched.drain()
+	for _, ss := range s.sessions.all() {
+		s.abortSession(ss, false)
+		// Sessions mid-close: their finalizer owns the terminal transition;
+		// the core drain is deadline-bounded, so just wait it out.
+		ss.mu.Lock()
+		for ss.state == SessionClosing {
+			ss.cond.Wait()
+		}
+		ss.mu.Unlock()
+	}
+}
+
+// parseSessionTraces validates the wire form of a chunk: each trace a
+// non-empty space-separated line of event names.
+func parseSessionTraces(lines []string) ([][]string, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("traces must be non-empty")
+	}
+	out := make([][]string, len(lines))
+	for i, line := range lines {
+		names := strings.Fields(line)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("trace %d is empty", i)
+		}
+		out[i] = names
+	}
+	return out, nil
+}
+
+// sessionTraceLines renders id-level traces back to their wire/journal form.
+func sessionTraceLines(traces [][]string) []string {
+	lines := make([]string, len(traces))
+	for i, tr := range traces {
+		lines[i] = strings.Join(tr, " ")
+	}
+	return lines
+}
+
+// Session admission errors (HTTP layer maps them onto status codes).
+var (
+	errSessionClosing  = errors.New("server: session is closing")
+	errSessionTerminal = errors.New("server: session is terminal")
+)

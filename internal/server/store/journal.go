@@ -33,6 +33,19 @@ const (
 	// Written before the done transition, so "result present" implies the
 	// job completed even if the final state record was lost.
 	RecordResult = "result"
+
+	// RecordSessionOpen declares a streaming session and its fixed side: the
+	// source log (as an artifact reference), patterns, algorithm, tenant.
+	RecordSessionOpen = "session_open"
+	// RecordSessionDelta is one admitted chunk of target traces, journaled in
+	// admission order — replaying every delta of an open session reconstructs
+	// its exact target log, and a re-search over it converges to the same
+	// mapping the live session would have published.
+	RecordSessionDelta = "session_delta"
+	// RecordSessionClose marks a session terminal ("closed" or "aborted"); a
+	// clean close carries the final published mapping so restarts serve it
+	// without recomputation.
+	RecordSessionClose = "session_close"
 )
 
 // Record is the union of all journal record bodies.
@@ -54,6 +67,41 @@ type Record struct {
 
 	// RecordResult payload.
 	ResultHash string `json:"result_hash,omitempty"`
+
+	// RecordSessionOpen payload.
+	Session *SessionRecord `json:"session,omitempty"`
+
+	// RecordSessionDelta payload: one admitted chunk, each trace a
+	// space-separated event-name line (the trace-lines log format).
+	Traces []string `json:"traces,omitempty"`
+
+	// RecordSessionClose payload: the final published state of a cleanly
+	// closed session (nil for aborts). The terminal state itself rides the
+	// State field shared with RecordState.
+	Final *SessionFinalRecord `json:"final,omitempty"`
+}
+
+// SessionRecord is the durable form of a streaming session's fixed side. The
+// source log lives in the artifact store; everything else is inline.
+type SessionRecord struct {
+	Algorithm string `json:"algorithm"`
+	Log1      LogRef `json:"log1"`
+	Tenant    string `json:"tenant,omitempty"`
+
+	Patterns []string `json:"patterns,omitempty"`
+
+	// TimeoutMS bounds each incremental re-search, not the session.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Lenient   bool  `json:"lenient,omitempty"`
+
+	CreatedUnixNano int64 `json:"created,omitempty"`
+}
+
+// SessionFinalRecord is a closed session's last published mapping.
+type SessionFinalRecord struct {
+	Revision int               `json:"revision"`
+	Pairs    map[string]string `json:"pairs"`
+	Score    float64           `json:"score"`
 }
 
 // SpecRecord is the durable, re-runnable form of a job submission. Log
@@ -142,6 +190,8 @@ func decodeLine(line []byte) (*Record, error) {
 type Recovery struct {
 	// Jobs holds every journaled job in submission order.
 	Jobs []*RecoveredJob
+	// Sessions holds every journaled streaming session in open order.
+	Sessions []*RecoveredSession
 	// Records is the number of well-formed records replayed.
 	Records int
 	// Torn counts trailing records dropped as torn/partial (the normal
@@ -153,6 +203,8 @@ type Recovery struct {
 	// MaxJobSeq is the highest numeric suffix seen in "j<N>" job ids, so the
 	// server can continue its id sequence without collisions.
 	MaxJobSeq int
+	// MaxSessionSeq is the same for "s<N>" session ids.
+	MaxSessionSeq int
 
 	// goodPrefix is the byte length of the well-formed journal prefix — the
 	// offset at which replay stopped. Open truncates the journal here before
@@ -178,6 +230,26 @@ type RecoveredJob struct {
 	ResultHash string
 }
 
+// RecoveredSession is one streaming session's replayed end state.
+type RecoveredSession struct {
+	ID   string
+	Spec SessionRecord
+	// Deltas are every admitted trace chunk in admission order; concatenated
+	// they are the session's exact target log.
+	Deltas [][]string
+	// State is "open" unless a close record was replayed ("closed" or
+	// "aborted").
+	State string
+	// Final is the last published mapping of a cleanly closed session.
+	Final *SessionFinalRecord
+}
+
+// Terminal reports whether the replayed session needs no live core: it was
+// closed or aborted before the crash.
+func (s *RecoveredSession) Terminal() bool {
+	return s.State == "closed" || s.State == "aborted"
+}
+
 // Terminal reports whether the replayed job needs no further work: it has a
 // durable result, or it ended in a terminal non-result state.
 func (j *RecoveredJob) Terminal() bool {
@@ -200,6 +272,7 @@ func (j *RecoveredJob) Terminal() bool {
 func replay(data []byte) *Recovery {
 	rec := &Recovery{goodPrefix: len(data)}
 	byID := map[string]*RecoveredJob{}
+	sessByID := map[string]*RecoveredSession{}
 	lines := bytes.Split(data, []byte("\n"))
 	off := 0
 	for i, line := range lines {
@@ -221,6 +294,11 @@ func replay(data []byte) *Recovery {
 		if seq, ok := strings.CutPrefix(r.JobID, "j"); ok {
 			if n, err := strconv.Atoi(seq); err == nil && n > rec.MaxJobSeq {
 				rec.MaxJobSeq = n
+			}
+		}
+		if seq, ok := strings.CutPrefix(r.JobID, "s"); ok {
+			if n, err := strconv.Atoi(seq); err == nil && n > rec.MaxSessionSeq {
+				rec.MaxSessionSeq = n
 			}
 		}
 		switch r.Type {
@@ -259,6 +337,29 @@ func replay(data []byte) *Recovery {
 				continue
 			}
 			j.ResultHash = r.ResultHash
+		case RecordSessionOpen:
+			if r.Session == nil || sessByID[r.JobID] != nil {
+				rec.Skipped++ // malformed or duplicate open
+				continue
+			}
+			sess := &RecoveredSession{ID: r.JobID, Spec: *r.Session, State: "open"}
+			sessByID[r.JobID] = sess
+			rec.Sessions = append(rec.Sessions, sess)
+		case RecordSessionDelta:
+			sess := sessByID[r.JobID]
+			if sess == nil || len(r.Traces) == 0 {
+				rec.Skipped++
+				continue
+			}
+			sess.Deltas = append(sess.Deltas, append([]string(nil), r.Traces...))
+		case RecordSessionClose:
+			sess := sessByID[r.JobID]
+			if sess == nil || (r.State != "closed" && r.State != "aborted") {
+				rec.Skipped++
+				continue
+			}
+			sess.State = r.State
+			sess.Final = r.Final
 		default:
 			rec.Skipped++ // unknown record type: forward compatibility
 		}

@@ -219,6 +219,23 @@ func (s *Store) AppendResult(ctx context.Context, jobID, resultHash string, now 
 	return s.append(ctx, &Record{Type: RecordResult, JobID: jobID, TimeUnixNano: now, ResultHash: resultHash})
 }
 
+// AppendSessionOpen journals a streaming session's fixed side.
+func (s *Store) AppendSessionOpen(ctx context.Context, sessionID string, rec *SessionRecord, now int64) error {
+	return s.append(ctx, &Record{Type: RecordSessionOpen, JobID: sessionID, TimeUnixNano: now, Session: rec})
+}
+
+// AppendSessionDelta journals one admitted chunk of target traces. Call in
+// admission order, before acknowledging the append to the client.
+func (s *Store) AppendSessionDelta(ctx context.Context, sessionID string, traces []string, now int64) error {
+	return s.append(ctx, &Record{Type: RecordSessionDelta, JobID: sessionID, TimeUnixNano: now, Traces: traces})
+}
+
+// AppendSessionClose journals a session's terminal state ("closed" or
+// "aborted"); final carries the last published mapping for clean closes.
+func (s *Store) AppendSessionClose(ctx context.Context, sessionID, state string, final *SessionFinalRecord, now int64) error {
+	return s.append(ctx, &Record{Type: RecordSessionClose, JobID: sessionID, TimeUnixNano: now, State: state, Final: final})
+}
+
 // artifactKeyRe guards against path traversal: artifact keys are hex hashes
 // (the server's sha256-based cache keys), nothing else reaches the disk.
 var artifactKeyRe = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
